@@ -1,0 +1,71 @@
+"""Ablation — the non-robust-feature (texture) calibration of the substrate.
+
+DESIGN.md §2 substitutes real product photos with procedural images that
+carry a faint category-characteristic micro-texture.  That texture is
+the knob that gives the trained CNN the ε-scale vulnerability of real
+ImageNet models (Ilyas et al.: classifiers latch onto non-robust
+features).  This ablation trains classifiers on catalogs rendered at
+three texture amplitudes and shows targeted PGD success at ε = 8/255
+collapsing as the texture disappears — evidence that the substitution,
+not the attack code, controls the vulnerability profile, exactly as the
+reproduction claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD, epsilon_from_255
+from repro.data import build_dataset, men_registry
+from repro.data.images import ProductImageGenerator
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+TEXTURE_LEVELS = (0.0, 0.03, 0.06)
+
+
+def _train_on_texture(texture_level: float):
+    registry = men_registry()
+    rng = np.random.default_rng(0)
+    from repro.data.datasets import _allocate_items
+
+    item_categories = _allocate_items(280, registry, rng)
+    generator = ProductImageGenerator(
+        registry, image_size=32, seed=0, texture_level=texture_level
+    )
+    images = generator.render_items(item_categories)
+    model, report = train_catalog_classifier(
+        images,
+        item_categories,
+        len(registry),
+        widths=(8, 16, 32),
+        blocks_per_stage=(1, 1, 1),
+        config=ClassifierConfig(epochs=18, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    socks = np.flatnonzero(
+        item_categories == registry.by_name("sock").category_id
+    )
+    return model, images[socks], registry.by_name("running_shoe").category_id, report
+
+
+def test_texture_controls_attackability(benchmark):
+    print("\nTexture ablation (PGD-10, ε = 8/255, sock → running_shoe):")
+    rates = {}
+    accuracies = {}
+    for level in TEXTURE_LEVELS:
+        model, sock_images, target, report = _train_on_texture(level)
+        attack = PGD(model, epsilon_from_255(8), num_steps=10, seed=0)
+        rates[level] = attack.attack(sock_images, target_class=target).success_rate()
+        accuracies[level] = report.final_train_accuracy
+        print(
+            f"  texture={level:<5}  classifier acc={accuracies[level]:6.1%}  "
+            f"targeted success={rates[level]:6.1%}"
+        )
+
+    # The classifier solves the task at every texture level...
+    assert all(acc > 0.9 for acc in accuracies.values())
+    # ...but small-ε attackability requires the non-robust features.
+    assert rates[0.06] > rates[0.0] + 0.3
+
+    # Benchmark: rendering a textured catalog slice.
+    registry = men_registry()
+    generator = ProductImageGenerator(registry, image_size=32, seed=0)
+    benchmark(lambda: generator.render_category_batch("sock", 16))

@@ -1,0 +1,100 @@
+"""Extension bench — the attack zoo: all implemented attacks, one victim.
+
+The paper's §VI plans "integrating novel adversarial attacks"; the
+reproduction ships seven.  This bench runs every attack against the
+same classifier and sock images (target: running shoe, where a target
+applies) and prints a taxonomy table: constraint type, success rate,
+mean l2 / l∞, PSNR — making the trade-offs (sign attacks vs minimal-
+norm attacks vs sparse vs black-box) visible on one substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BIM,
+    CarliniWagnerL2,
+    DeepFool,
+    FGSM,
+    JSMA,
+    MIM,
+    NESAttack,
+    PGD,
+    epsilon_from_255,
+)
+from repro.metrics import batch_psnr
+
+EPSILON_255 = 16.0
+
+
+@pytest.fixture(scope="module")
+def victim(men_context):
+    dataset = men_context.dataset
+    socks = dataset.items_in_category("sock")
+    target = dataset.registry.by_name("running_shoe").category_id
+    return men_context.classifier, dataset.images[socks][:12], target
+
+
+def run_zoo(model, images, target):
+    epsilon = epsilon_from_255(EPSILON_255)
+    zoo = {
+        "FGSM": lambda: FGSM(model, epsilon).attack(images, target_class=target),
+        "BIM": lambda: BIM(model, epsilon, num_steps=10).attack(
+            images, target_class=target
+        ),
+        "PGD": lambda: PGD(model, epsilon, num_steps=10, seed=0).attack(
+            images, target_class=target
+        ),
+        "MIM": lambda: MIM(model, epsilon, num_steps=10, step_size=epsilon / 4).attack(
+            images, target_class=target
+        ),
+        "C&W": lambda: CarliniWagnerL2(model, c=20.0, num_steps=80).attack(
+            images, target_class=target
+        ),
+        "JSMA": lambda: JSMA(model, theta=1.0, gamma=0.3, batch_pixels=16).attack(
+            images, target_class=target
+        ),
+        "DeepFool": lambda: DeepFool(model, max_steps=30).attack(images),
+        "NES": lambda: NESAttack(
+            model, epsilon, num_steps=15, samples_per_step=24, seed=0
+        ).attack(images, target_class=target),
+    }
+    return {name: run() for name, run in zoo.items()}
+
+
+def test_attack_zoo(victim, benchmark):
+    model, images, target = victim
+    results = run_zoo(model, images, target)
+
+    print(
+        f"\nAttack zoo (sock → running_shoe where targeted, ε={EPSILON_255:.0f} "
+        "for l∞ attacks):"
+    )
+    print(f"  {'attack':9s} {'success':>8s} {'mean l2':>8s} {'max l∞':>7s} {'PSNR':>6s}")
+    stats = {}
+    for name, result in results.items():
+        delta = result.adversarial_images - images
+        l2 = np.sqrt((delta ** 2).reshape(len(images), -1).sum(axis=1)).mean()
+        linf = np.abs(delta).max()
+        psnr = float(np.mean(np.minimum(batch_psnr(images, result.adversarial_images), 99)))
+        stats[name] = {"l2": l2, "linf": linf, "success": result.success_rate()}
+        print(
+            f"  {name:9s} {result.success_rate():8.1%} {l2:8.3f} "
+            f"{linf:7.3f} {psnr:6.1f}"
+        )
+
+    # Taxonomy invariants.
+    # l∞ attacks stay inside the shared budget; C&W/DeepFool/JSMA may not.
+    eps = epsilon_from_255(EPSILON_255)
+    for name in ("FGSM", "BIM", "PGD", "MIM", "NES"):
+        assert stats[name]["linf"] <= eps + 1e-9, f"{name} left its l∞ ball"
+    # Iterative sign attacks dominate single-step FGSM.
+    assert stats["PGD"]["success"] >= stats["FGSM"]["success"]
+    # DeepFool (minimal-norm, untargeted) flips with a small perturbation.
+    assert stats["DeepFool"]["success"] > 0.5
+    image_norm = np.sqrt((images ** 2).reshape(len(images), -1).sum(axis=1)).mean()
+    assert stats["DeepFool"]["l2"] < 0.25 * image_norm
+    # C&W succeeds via optimisation rather than a fixed budget.
+    assert stats["C&W"]["success"] > 0.5
+
+    benchmark(lambda: FGSM(model, eps).attack(images[:6], target_class=target))

@@ -1,0 +1,44 @@
+"""Table I — dataset statistics (|U|, |I|, |S|).
+
+Paper reference:
+    Amazon Men    |U| = 26,155   |I| = 82,630   |S| = 193,365   (|S|/|U| = 7.39)
+    Amazon Women  |U| = 18,514   |I| = 76,889   |S| = 137,929   (|S|/|U| = 7.45)
+
+The synthetic datasets scale those sizes by ``BENCH_SCALE`` and must
+match the paper's *shape*: ≥5 interactions per user after filtering,
+|S|/|U| ≈ 7.4, sparse interaction matrix.  The benchmark measures the
+cost of building a dataset (images + interactions) at bench scale.
+"""
+
+from repro.data import PAPER_SIZES, amazon_men_like
+from repro.experiments import format_table1
+
+from conftest import BENCH_SCALE
+
+
+def test_table1_dataset_statistics(men_context, women_context, benchmark):
+    stats = {
+        "amazon_men_like": men_context.dataset.stats(),
+        "amazon_women_like": women_context.dataset.stats(),
+        "paper: Amazon Men": {
+            **PAPER_SIZES["amazon_men"],
+            "interactions_per_user": PAPER_SIZES["amazon_men"]["interactions"]
+            / PAPER_SIZES["amazon_men"]["users"],
+        },
+        "paper: Amazon Women": {
+            **PAPER_SIZES["amazon_women"],
+            "interactions_per_user": PAPER_SIZES["amazon_women"]["interactions"]
+            / PAPER_SIZES["amazon_women"]["users"],
+        },
+    }
+    print("\n" + format_table1(stats))
+
+    # Shape assertions against the paper.
+    for context in (men_context, women_context):
+        row = context.dataset.stats()
+        assert row["interactions_per_user"] >= 5.0  # the >=5 filter
+        assert 5.5 < row["interactions_per_user"] < 10.0  # near the paper's 7.4
+        assert row["density"] < 0.05  # sparse like the paper
+
+    # Benchmark: dataset construction at a small fixed scale.
+    benchmark(lambda: amazon_men_like(scale=min(BENCH_SCALE, 0.003), image_size=32))

@@ -1,0 +1,90 @@
+"""Extension bench — attack transferability across extractors.
+
+The paper's threat model is white-box (§III-B: "the adversary holds a
+full knowledge of the feature extraction model parameters").  This
+bench quantifies how much that assumption matters: attacks crafted on
+an independently-seeded surrogate classifier are evaluated against the
+deployed extractor, for both single-step FGSM and iterative PGD and MIM
+(whose momentum is designed to transfer better).
+"""
+
+import pytest
+
+from repro.attacks import FGSM, MIM, PGD, epsilon_from_255, transfer_matrix
+from repro.features import ClassifierConfig, ClassifierTrainer
+from repro.nn import SimpleCNN, TinyResNet
+
+EPSILON_255 = 16.0
+
+
+@pytest.fixture(scope="module")
+def models(men_context):
+    """Deployed extractor + same-architecture and cross-architecture surrogates."""
+    dataset = men_context.dataset
+    config = men_context.config
+    training = ClassifierConfig(
+        epochs=config.classifier_epochs,
+        batch_size=config.classifier_batch_size,
+        learning_rate=config.classifier_lr,
+        seed=config.seed + 100,
+    )
+    surrogate = TinyResNet(
+        num_classes=dataset.num_categories,
+        widths=config.classifier_widths,
+        blocks_per_stage=config.classifier_blocks,
+        seed=config.seed + 100,
+    )
+    ClassifierTrainer(surrogate, training).fit(dataset.images, dataset.item_categories)
+    vgg_like = SimpleCNN(
+        num_classes=dataset.num_categories,
+        widths=config.classifier_widths,
+        seed=config.seed + 200,
+    )
+    ClassifierTrainer(vgg_like, training).fit(dataset.images, dataset.item_categories)
+    return {
+        "deployed": men_context.classifier,
+        "surrogate": surrogate,
+        "vgg_like": vgg_like,
+    }
+
+
+def test_transferability_matrix(men_context, models, benchmark):
+    dataset = men_context.dataset
+    socks = dataset.items_in_category("sock")
+    images = dataset.images[socks]
+    target = dataset.registry.by_name("running_shoe").category_id
+    epsilon = epsilon_from_255(EPSILON_255)
+
+    builders = {
+        "FGSM": lambda model: FGSM(model, epsilon),
+        "PGD": lambda model: PGD(model, epsilon, num_steps=10, seed=0),
+        "MIM": lambda model: MIM(model, epsilon, num_steps=10, step_size=epsilon / 4),
+    }
+
+    print(f"\nTransfer matrix (targeted, ε={EPSILON_255:.0f}, sock → running_shoe):")
+    results = {}
+    for attack_name, builder in builders.items():
+        matrix = transfer_matrix(models, images, target, builder)
+        results[attack_name] = matrix
+        white_box = matrix["surrogate"]["surrogate"].white_box_success
+        same_arch = matrix["surrogate"]["deployed"].transfer_success
+        cross_arch = matrix["vgg_like"]["deployed"].transfer_success
+        print(
+            f"  {attack_name:5s} white-box={white_box:6.1%}  "
+            f"resnet→deployed={same_arch:6.1%}  vgg→deployed={cross_arch:6.1%}"
+        )
+
+    for attack_name, matrix in results.items():
+        # Diagonal = white-box success; transfer can only lose accuracy.
+        diag = matrix["surrogate"]["surrogate"]
+        cross = matrix["surrogate"]["deployed"]
+        assert cross.transfer_success <= diag.white_box_success + 1e-9
+    # Iterative white-box attacks must dominate single-step.
+    assert (
+        results["PGD"]["deployed"]["deployed"].white_box_success
+        >= results["FGSM"]["deployed"]["deployed"].white_box_success
+    )
+
+    benchmark(
+        lambda: transfer_matrix(models, images[:8], target, builders["FGSM"])
+    )

@@ -1,0 +1,71 @@
+"""Extension bench — targeted (TAaMR) vs untargeted ([20]) attacks.
+
+The paper's central departure from Tang et al. [20] is *targeting*: [20]
+perturbs images to degrade recommendation accuracy; TAaMR perturbs them
+to *promote* a chosen category.  This bench runs both threat models
+through one trained system at ε = 16/255 and contrasts:
+
+* targeted sock → running_shoe: the sock category's CHR must rise;
+* untargeted attack on running_shoe: the category's CHR must not rise
+  (items scatter to arbitrary classes), demonstrating why the paper's
+  CHR metric was needed — accuracy metrics alone cannot see promotion.
+"""
+
+import pytest
+
+from repro.attacks import PGD, epsilon_from_255
+from repro.core import TAaMRPipeline, make_scenario, run_untargeted_attack
+
+EPSILON_255 = 16.0
+
+
+@pytest.fixture(scope="module")
+def pipeline(men_context):
+    return TAaMRPipeline(
+        men_context.dataset,
+        men_context.extractor,
+        men_context.vbpr,
+        cutoff=men_context.config.cutoff,
+    )
+
+
+def test_targeted_vs_untargeted(men_context, pipeline, benchmark):
+    epsilon = epsilon_from_255(EPSILON_255)
+    scenario = make_scenario(men_context.dataset.registry, "sock", "running_shoe")
+
+    targeted = pipeline.attack_category(
+        scenario, PGD(men_context.classifier, epsilon, num_steps=10, seed=0)
+    )
+    untargeted = run_untargeted_attack(
+        pipeline,
+        "running_shoe",
+        PGD(men_context.classifier, epsilon, num_steps=10, seed=0),
+    )
+
+    print(
+        f"\nTargeted TAaMR (sock → running_shoe, ε={EPSILON_255:.0f}):\n"
+        f"  sock CHR {targeted.chr_source_before:.2f}% -> "
+        f"{targeted.chr_source_after:.2f}%  (success {targeted.success_rate:.0%})\n"
+        f"Untargeted attack on running_shoe (ε={EPSILON_255:.0f}):\n"
+        f"  running_shoe CHR {untargeted.chr_before:.2f}% -> {untargeted.chr_after:.2f}%"
+        f"  (misclassified {untargeted.misclassification_rate:.0%})\n"
+        f"  HR@10 {untargeted.ranking_before.hit_ratio:.3f} -> "
+        f"{untargeted.ranking_after.hit_ratio:.3f}"
+    )
+
+    # Targeted promotion: the attacked category's CHR rises.
+    assert targeted.chr_source_after > targeted.chr_source_before
+    # Untargeted scattering: the attacked category's CHR does not rise
+    # (it usually falls — its items stop looking like their own class).
+    assert untargeted.chr_after <= untargeted.chr_before + 0.5
+    # Both attacks flip the classifier at this budget.
+    assert targeted.success_rate > 0.8
+    assert untargeted.misclassification_rate > 0.8
+
+    benchmark(
+        lambda: run_untargeted_attack(
+            pipeline,
+            "sock",
+            PGD(men_context.classifier, epsilon_from_255(8), num_steps=5, seed=0),
+        )
+    )

@@ -1,0 +1,82 @@
+"""Black-box TAaMR: what if the adversary cannot see the weights?
+
+The paper assumes white-box access to the extractor (§III-B).  This
+example relaxes that in two realistic directions and compares all three
+threat models on one trained system:
+
+1. **white-box** — PGD with true gradients (the paper's setting);
+2. **transfer** — PGD gradients from an independently trained surrogate;
+3. **query-only** — NES gradient estimation from probability queries.
+
+It also renders the success-vs-ε curve of the white-box attack as an
+ASCII chart via ``repro.core.analysis``.
+
+Run:  python examples/black_box_attack.py
+"""
+
+import numpy as np
+
+from repro.attacks import NESAttack, PGD, epsilon_from_255
+from repro.core import ascii_curve
+from repro.experiments import build_context, men_config
+from repro.features import ClassifierConfig, ClassifierTrainer
+from repro.nn import TinyResNet
+
+
+def main() -> None:
+    config = men_config(scale=0.004)
+    context = build_context(config, verbose=True)
+    dataset = context.dataset
+    socks = dataset.items_in_category("sock")
+    images = dataset.images[socks]
+    target = dataset.registry.by_name("running_shoe").category_id
+
+    print("\nTraining an independent surrogate for the transfer attacker...")
+    surrogate = TinyResNet(
+        num_classes=dataset.num_categories,
+        widths=config.classifier_widths,
+        blocks_per_stage=config.classifier_blocks,
+        seed=123,
+    )
+    ClassifierTrainer(
+        surrogate, ClassifierConfig(epochs=config.classifier_epochs, seed=123)
+    ).fit(dataset.images, dataset.item_categories)
+
+    epsilon = epsilon_from_255(16)
+    print("\nThreat-model comparison (targeted sock → running_shoe, ε = 16/255):")
+
+    white_box = PGD(context.classifier, epsilon, num_steps=10, seed=0).attack(
+        images, target_class=target
+    )
+    print(f"  white-box PGD:     success = {white_box.success_rate():6.1%}")
+
+    crafted = PGD(surrogate, epsilon, num_steps=10, seed=0).attack(
+        images, target_class=target
+    )
+    transferred = (
+        context.classifier.predict(crafted.adversarial_images) == target
+    ).mean()
+    print(f"  transfer PGD:      success = {transferred:6.1%}  (surrogate→deployed)")
+
+    nes = NESAttack(
+        context.classifier, epsilon, num_steps=20, samples_per_step=30, seed=0
+    )
+    black_box = nes.attack(images[:10], target_class=target)
+    print(
+        f"  query-only NES:    success = {black_box.success_rate():6.1%}  "
+        f"({black_box.metadata['queries_used']:.0f} queries for 10 images)"
+    )
+
+    # White-box success-vs-ε curve.
+    eps_grid = [2, 4, 8, 16, 24]
+    rates = []
+    for eps255 in eps_grid:
+        result = PGD(
+            context.classifier, epsilon_from_255(eps255), num_steps=10, seed=0
+        ).attack(images, target_class=target)
+        rates.append(result.success_rate())
+    print("\n" + ascii_curve(eps_grid, rates, label="white-box PGD success vs ε (/255)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments lacking the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for
+PEP 660 editable installs; this shim lets legacy editable installs
+(``--no-use-pep517``) work fully offline.  Metadata lives in
+``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

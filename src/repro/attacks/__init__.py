@@ -1,0 +1,53 @@
+"""``repro.attacks`` — targeted/untargeted FGSM, PGD, BIM and extensions."""
+
+from .base import AttackResult, GradientAttack
+from .evaluation import (
+    SuccessCell,
+    default_attack_factories,
+    misclassification_rate,
+    success_rate_grid,
+)
+from .cw import CarliniWagnerL2
+from .fgsm import FGSM
+from .mim import MIM
+from .item_to_item import ItemToItemAttack
+from .nes import NESAttack
+from .jsma import JSMA
+from .deepfool import DeepFool
+from .pgd import BIM, PGD
+from .transfer import TransferResult, evaluate_transfer, transfer_matrix
+from .projections import (
+    clip_pixels,
+    epsilon_from_255,
+    linf_distance,
+    project_l2,
+    project_linf,
+    random_uniform_start,
+)
+
+__all__ = [
+    "AttackResult",
+    "GradientAttack",
+    "FGSM",
+    "PGD",
+    "BIM",
+    "MIM",
+    "CarliniWagnerL2",
+    "ItemToItemAttack",
+    "NESAttack",
+    "JSMA",
+    "DeepFool",
+    "SuccessCell",
+    "success_rate_grid",
+    "default_attack_factories",
+    "misclassification_rate",
+    "TransferResult",
+    "evaluate_transfer",
+    "transfer_matrix",
+    "project_linf",
+    "project_l2",
+    "clip_pixels",
+    "linf_distance",
+    "epsilon_from_255",
+    "random_uniform_start",
+]

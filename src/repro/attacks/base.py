@@ -1,0 +1,158 @@
+"""Attack base classes and gradient plumbing.
+
+Both attacks in the paper (FGSM, PGD) need one primitive from the
+white-box threat model: the gradient of the classifier's loss with
+respect to the *input image*, either toward a chosen target class
+(targeted, eq. 5) or away from the true class (untargeted, Def. 3).
+:class:`GradientAttack` wraps a :class:`TinyResNet` and exposes that
+primitive plus batching; concrete attacks implement :meth:`perturb`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Tensor, TinyResNet, cross_entropy
+from .projections import clip_pixels, linf_distance
+
+
+@dataclass
+class AttackResult:
+    """Outcome of attacking a batch of images.
+
+    Attributes
+    ----------
+    adversarial_images:
+        The perturbed images, NCHW in [0, 1].
+    original_predictions / adversarial_predictions:
+        Class indices before and after the attack.
+    target_class:
+        The attack target (``None`` for untargeted runs).
+    epsilon:
+        l∞ budget on the [0, 1] pixel scale.
+    """
+
+    adversarial_images: np.ndarray
+    original_predictions: np.ndarray
+    adversarial_predictions: np.ndarray
+    epsilon: float
+    target_class: Optional[int] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_images(self) -> int:
+        return self.adversarial_images.shape[0]
+
+    def success_mask(self) -> np.ndarray:
+        """Per-image success: reached the target (targeted) or left the
+        original class (untargeted)."""
+        if self.target_class is not None:
+            return self.adversarial_predictions == self.target_class
+        return self.adversarial_predictions != self.original_predictions
+
+    def success_rate(self) -> float:
+        """The paper's Table III quantity: fraction of successful images."""
+        if self.num_images == 0:
+            return 0.0
+        return float(self.success_mask().mean())
+
+    def linf_distances(self, clean_images: np.ndarray) -> np.ndarray:
+        return linf_distance(self.adversarial_images, clean_images)
+
+
+class GradientAttack(ABC):
+    """Base class for white-box gradient attacks on a TinyResNet."""
+
+    def __init__(self, model: TinyResNet, epsilon: float, batch_size: int = 32) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not epsilon <= 1.0:
+            raise ValueError("epsilon is on the [0, 1] pixel scale; use epsilon_from_255")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.epsilon = epsilon
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------ #
+    def loss_gradient(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """∇_x L_F(θ, x, labels) for a batch of images (eval mode)."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            x = Tensor(np.asarray(images, dtype=np.float64), requires_grad=True)
+            logits = self.model(x)
+            loss = cross_entropy(logits, labels)
+            loss.backward()
+        finally:
+            if was_training:
+                self.model.train()
+        assert x.grad is not None
+        return x.grad
+
+    def _validate_images(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError("images must be NCHW")
+        if images.size and (images.min() < -1e-9 or images.max() > 1 + 1e-9):
+            raise ValueError("images must lie in [0, 1]")
+        return images
+
+    def _resolve_labels(
+        self, images: np.ndarray, target_class: Optional[int], true_labels: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Labels driving the loss: the target class, given true labels, or
+        the model's own predictions (standard untargeted practice)."""
+        if target_class is not None:
+            if not 0 <= target_class < self.model.num_classes:
+                raise ValueError("target_class out of range")
+            return np.full(images.shape[0], target_class, dtype=np.int64)
+        if true_labels is not None:
+            return np.asarray(true_labels, dtype=np.int64)
+        return self.model.predict(images, batch_size=self.batch_size)
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _perturb_batch(
+        self, images: np.ndarray, labels: np.ndarray, targeted: bool
+    ) -> np.ndarray:
+        """Return adversarial versions of one batch."""
+
+    def attack(
+        self,
+        images: np.ndarray,
+        target_class: Optional[int] = None,
+        true_labels: Optional[np.ndarray] = None,
+    ) -> AttackResult:
+        """Attack a set of images.
+
+        With ``target_class`` the attack is targeted (paper's TAaMR
+        setting); otherwise untargeted, moving away from ``true_labels``
+        (or the model's predictions when labels are not given).
+        """
+        images = self._validate_images(images)
+        targeted = target_class is not None
+        labels = self._resolve_labels(images, target_class, true_labels)
+        original = self.model.predict(images, batch_size=self.batch_size)
+
+        adversarial = np.empty_like(images)
+        for start in range(0, images.shape[0], self.batch_size):
+            stop = start + self.batch_size
+            adversarial[start:stop] = self._perturb_batch(
+                images[start:stop], labels[start:stop], targeted
+            )
+        adversarial = clip_pixels(adversarial)
+
+        return AttackResult(
+            adversarial_images=adversarial,
+            original_predictions=original,
+            adversarial_predictions=self.model.predict(adversarial, batch_size=self.batch_size),
+            epsilon=self.epsilon,
+            target_class=target_class,
+        )

@@ -1,0 +1,119 @@
+"""DeepFool — minimal untargeted perturbation (Moosavi-Dezfooli et al., 2016).
+
+An untargeted complement to the paper's grid that answers "how far is
+each product image from *any* decision boundary?".  Per iteration the
+classifier is linearised around the current point, the closest class
+boundary is identified,
+
+    l* = argmin_{k≠c} |f_k − f_c| / ‖∇f_k − ∇f_c‖₂
+
+and the minimal step onto that hyperplane is taken.  The resulting l2
+perturbation norms are a direct margin measurement — the quantity that
+explains why our synthetic substrate needs the non-robust-texture
+calibration (see DESIGN.md §2 and ``bench_ablation_texture.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn.classifier import ImageClassifier
+from ..nn.functional import one_hot
+from .base import AttackResult
+from .projections import clip_pixels
+
+
+class DeepFool:
+    """Untargeted minimal-l2 attack via iterative linearisation."""
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        max_steps: int = 30,
+        overshoot: float = 0.02,
+    ) -> None:
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        if overshoot < 0:
+            raise ValueError("overshoot must be non-negative")
+        self.model = model
+        self.max_steps = max_steps
+        self.overshoot = overshoot
+
+    def _logits_and_jacobian(self, image: np.ndarray):
+        """Logits plus the full class Jacobian (one backward per class)."""
+        num_classes = self.model.num_classes
+        jacobian = np.empty((num_classes,) + image.shape)
+        logits_value = None
+        for cls in range(num_classes):
+            x = Tensor(image[None], requires_grad=True)
+            logits = self.model(x)
+            if logits_value is None:
+                logits_value = logits.data[0].copy()
+            logits.backward(one_hot(np.array([cls]), num_classes))
+            jacobian[cls] = x.grad[0]
+        return logits_value, jacobian
+
+    def _attack_single(self, image: np.ndarray) -> np.ndarray:
+        original_class = int(self.model.predict(image[None], batch_size=1)[0])
+        current = image.copy()
+        total_perturbation = np.zeros_like(image)
+
+        for _ in range(self.max_steps):
+            logits, jacobian = self._logits_and_jacobian(current)
+            if int(np.argmax(logits)) != original_class:
+                break
+            gaps = logits - logits[original_class]
+            grad_diffs = jacobian - jacobian[original_class]
+            norms = np.sqrt(
+                (grad_diffs.reshape(grad_diffs.shape[0], -1) ** 2).sum(axis=1)
+            )
+            norms[original_class] = np.inf
+            with np.errstate(divide="ignore", invalid="ignore"):
+                distances = np.abs(gaps) / norms
+            distances[original_class] = np.inf
+            closest = int(np.argmin(distances))
+            if not np.isfinite(distances[closest]):
+                break
+            step = (
+                (np.abs(gaps[closest]) + 1e-8)
+                / (norms[closest] ** 2)
+                * grad_diffs[closest]
+            )
+            total_perturbation += step
+            current = clip_pixels(image + (1.0 + self.overshoot) * total_perturbation)
+        return current
+
+    def attack(self, images: np.ndarray) -> AttackResult:
+        """Untargeted minimal-perturbation attack over an NCHW batch."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError("images must be NCHW")
+
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            original = self.model.predict(images)
+            adversarial = np.stack(
+                [self._attack_single(images[idx]) for idx in range(images.shape[0])]
+            ) if images.shape[0] else images.copy()
+        finally:
+            if was_training:
+                self.model.train()
+
+        l2 = np.sqrt(((adversarial - images) ** 2).reshape(max(images.shape[0], 1), -1).sum(axis=1))
+        return AttackResult(
+            adversarial_images=adversarial,
+            original_predictions=original,
+            adversarial_predictions=self.model.predict(adversarial),
+            epsilon=float(np.abs(adversarial - images).max()) if images.size else 0.0,
+            target_class=None,
+            metadata={"mean_l2": float(l2.mean()) if images.size else 0.0},
+        )
+
+    def margin_estimates(self, images: np.ndarray) -> np.ndarray:
+        """Per-image l2 distance moved to cross the nearest boundary."""
+        result = self.attack(images)
+        delta = result.adversarial_images - np.asarray(images, dtype=np.float64)
+        return np.sqrt((delta ** 2).reshape(delta.shape[0], -1).sum(axis=1))

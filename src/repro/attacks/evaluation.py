@@ -1,0 +1,81 @@
+"""Attack evaluation: the success-probability grid of Table III.
+
+For every (attack, ε) cell the paper reports the fraction of attacked
+source-category images that the CNN classifies as the *target* class
+after perturbation.  :func:`success_rate_grid` reproduces one row block
+of the table for a fixed source→target pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import TinyResNet
+from .base import AttackResult, GradientAttack
+from .fgsm import FGSM
+from .pgd import PGD
+from .projections import epsilon_from_255
+
+AttackFactory = Callable[[TinyResNet, float], GradientAttack]
+
+
+def default_attack_factories(num_steps: int = 10, seed: int = 0) -> Dict[str, AttackFactory]:
+    """The paper's two attacks, keyed by name."""
+    return {
+        "FGSM": lambda model, eps: FGSM(model, eps),
+        "PGD": lambda model, eps: PGD(model, eps, num_steps=num_steps, seed=seed),
+    }
+
+
+@dataclass
+class SuccessCell:
+    """One cell of Table III."""
+
+    attack: str
+    epsilon_255: float
+    success_rate: float
+    num_images: int
+
+
+def success_rate_grid(
+    model: TinyResNet,
+    images: np.ndarray,
+    target_class: int,
+    epsilons_255: Sequence[float] = (2, 4, 8, 16),
+    attacks: Optional[Dict[str, AttackFactory]] = None,
+) -> List[SuccessCell]:
+    """Targeted success probability for each attack × ε (Table III).
+
+    ``images`` are the clean source-category images; ``target_class`` is
+    the class the adversary wants them classified as.
+    """
+    if images.ndim != 4:
+        raise ValueError("images must be NCHW")
+    attacks = attacks if attacks is not None else default_attack_factories()
+    cells: List[SuccessCell] = []
+    for name, factory in attacks.items():
+        for eps_255 in epsilons_255:
+            attack = factory(model, epsilon_from_255(eps_255))
+            result = attack.attack(images, target_class=target_class)
+            cells.append(
+                SuccessCell(
+                    attack=name,
+                    epsilon_255=float(eps_255),
+                    success_rate=result.success_rate(),
+                    num_images=result.num_images,
+                )
+            )
+    return cells
+
+
+def misclassification_rate(result: AttackResult, true_labels: np.ndarray) -> float:
+    """Untargeted effectiveness: fraction no longer classified correctly."""
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    if true_labels.shape[0] != result.num_images:
+        raise ValueError("label count mismatch")
+    if result.num_images == 0:
+        return 0.0
+    return float((result.adversarial_predictions != true_labels).mean())

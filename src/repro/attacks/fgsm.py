@@ -1,0 +1,30 @@
+"""FGSM — Fast Gradient Sign Method (Goodfellow et al., ICLR 2015).
+
+Single-step l∞ attack.  Targeted form (paper eq. 5)::
+
+    x* ← x − ε · sign(∇_x L_F(θ, x, t))
+
+descends the loss toward the target class ``t``.  The untargeted form
+ascends the loss of the original class instead (``x + ε·sign``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GradientAttack
+from .projections import clip_pixels
+
+
+class FGSM(GradientAttack):
+    """One-step sign-gradient attack under an l∞ budget ``epsilon``."""
+
+    def _perturb_batch(
+        self, images: np.ndarray, labels: np.ndarray, targeted: bool
+    ) -> np.ndarray:
+        gradient = self.loss_gradient(images, labels)
+        step = np.sign(gradient) * self.epsilon
+        # Targeted: minimise loss toward t (eq. 5, minus sign).
+        # Untargeted: maximise loss of the source class.
+        adversarial = images - step if targeted else images + step
+        return clip_pixels(adversarial)

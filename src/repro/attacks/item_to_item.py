@@ -1,0 +1,127 @@
+"""Item-to-item feature-targeting attack (paper §VI, future work).
+
+The paper's conclusion proposes "a finer-grained visual attack to
+address a single item even within the same category (e.g., one kind of
+sock against another one)".  Class-targeted FGSM/PGD cannot express
+that goal — both socks share a class.  This attack instead perturbs the
+source image so that its *layer-e feature vector* approaches the feature
+vector of a chosen target item:
+
+    minimise  ‖f^e(x*) − f^e(x_target)‖²   s.t.  ‖x* − x‖_∞ ≤ ε
+
+optimised with projected sign-gradient descent.  Because VBPR scores
+items purely through f^e, matching the target item's features makes the
+recommender treat the source item like the target item — the strongest
+per-item manipulation available under the white-box model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Tensor, TinyResNet
+from .base import AttackResult, GradientAttack
+from .projections import clip_pixels, project_linf, random_uniform_start
+
+
+class ItemToItemAttack(GradientAttack):
+    """Match a target item's features under an l∞ pixel budget."""
+
+    def __init__(
+        self,
+        model: TinyResNet,
+        epsilon: float,
+        num_steps: int = 20,
+        step_size: Optional[float] = None,
+        random_start: bool = True,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model, epsilon, batch_size)
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        self.num_steps = num_steps
+        self.step_size = step_size if step_size is not None else epsilon / 4.0
+        self.random_start = random_start
+        self._rng = np.random.default_rng(seed)
+        self._target_features: Optional[np.ndarray] = None
+
+    # The generic label-driven path is not used by this attack.
+    def _perturb_batch(self, images, labels, targeted):  # pragma: no cover
+        raise NotImplementedError("use attack_toward_item()")
+
+    def _feature_loss_gradient(
+        self, images: np.ndarray, target_features: np.ndarray
+    ) -> tuple:
+        """Gradient of ‖f(x) − f_target‖² w.r.t. x, plus the loss value."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            x = Tensor(images, requires_grad=True)
+            feats = self.model.features(x)
+            diff = feats - Tensor(target_features)
+            loss = (diff * diff).sum()
+            loss.backward()
+        finally:
+            if was_training:
+                self.model.train()
+        assert x.grad is not None
+        return x.grad, loss.item()
+
+    def attack_toward_item(
+        self, images: np.ndarray, target_image: np.ndarray
+    ) -> AttackResult:
+        """Perturb ``images`` so their features approach ``target_image``'s.
+
+        Parameters
+        ----------
+        images:
+            Source images, NCHW in [0, 1].
+        target_image:
+            A single CHW image whose features are the optimisation target.
+        """
+        images = self._validate_images(images)
+        if target_image.ndim == 3:
+            target_image = target_image[None]
+        if target_image.shape[0] != 1:
+            raise ValueError("target_image must be a single image")
+        target_features = self.model.extract_features(
+            np.asarray(target_image, dtype=np.float64)
+        )
+        target_batch = np.repeat(target_features, images.shape[0], axis=0)
+
+        original = self.model.predict(images, batch_size=self.batch_size)
+        if self.random_start and self.epsilon > 0:
+            current = random_uniform_start(images, self.epsilon, self._rng)
+        else:
+            current = images.copy()
+
+        final_loss = 0.0
+        for _ in range(self.num_steps):
+            gradient, final_loss = self._feature_loss_gradient(current, target_batch)
+            current = current - np.sign(gradient) * self.step_size
+            current = project_linf(current, images, self.epsilon)
+            current = clip_pixels(current)
+
+        target_prediction = int(self.model.predict(np.asarray(target_image, dtype=np.float64))[0])
+        result = AttackResult(
+            adversarial_images=current,
+            original_predictions=original,
+            adversarial_predictions=self.model.predict(current, batch_size=self.batch_size),
+            epsilon=self.epsilon,
+            target_class=target_prediction,
+            metadata={"final_feature_distance": final_loss / max(1, images.shape[0])},
+        )
+        return result
+
+    def feature_distance(self, images: np.ndarray, target_image: np.ndarray) -> np.ndarray:
+        """Per-image l2 feature distance to the target item."""
+        feats = self.model.extract_features(np.asarray(images, dtype=np.float64))
+        target = self.model.extract_features(
+            np.asarray(target_image, dtype=np.float64)[None]
+            if target_image.ndim == 3
+            else np.asarray(target_image, dtype=np.float64)
+        )
+        return np.linalg.norm(feats - target, axis=1)

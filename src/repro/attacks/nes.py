@@ -1,0 +1,125 @@
+"""NES — score-based black-box attack (Ilyas et al., ICML 2018).
+
+The paper's threat model grants the adversary white-box access to the
+extractor (§III-B).  A real attacker on a marketplace may only be able
+to *query* the deployed classifier — upload an image, observe class
+scores.  NES estimates the input gradient from probability queries
+alone, via antithetic Gaussian sampling::
+
+    ∇_x L ≈ 1/(2σn) Σᵢ [L(x + σuᵢ) − L(x − σuᵢ)] · uᵢ,   uᵢ ~ N(0, I)
+
+and runs PGD-style sign steps on the estimate.  The loss is the
+negative log-probability of the target class, so only
+``predict_proba`` — never the weights or gradients — is touched,
+which the implementation enforces by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.classifier import ImageClassifier
+from .base import AttackResult
+from .projections import clip_pixels, project_linf
+
+
+class NESAttack:
+    """Query-only targeted l∞ attack using NES gradient estimation.
+
+    Parameters
+    ----------
+    model:
+        The victim classifier; only its ``predict_proba`` is queried.
+    epsilon:
+        l∞ budget on the [0, 1] pixel scale.
+    num_steps:
+        Sign-step iterations.
+    samples_per_step:
+        Antithetic *pairs* per gradient estimate (2× this many queries).
+    sigma:
+        Standard deviation of the Gaussian probes.
+    step_size:
+        Per-iteration step; defaults to ``epsilon / 4``.
+    """
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        epsilon: float,
+        num_steps: int = 20,
+        samples_per_step: int = 24,
+        sigma: float = 0.01,
+        step_size: Optional[float] = None,
+        seed: int = 0,
+        batch_size: int = 64,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon is on the [0, 1] pixel scale")
+        if num_steps <= 0 or samples_per_step <= 0:
+            raise ValueError("num_steps and samples_per_step must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.model = model
+        self.epsilon = epsilon
+        self.num_steps = num_steps
+        self.samples_per_step = samples_per_step
+        self.sigma = sigma
+        self.step_size = step_size if step_size is not None else epsilon / 4.0
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self.queries_used = 0
+
+    # ------------------------------------------------------------------ #
+    def _loss(self, images: np.ndarray, target_class: int) -> np.ndarray:
+        """Targeted loss −log p_t per image, via probability queries only."""
+        probs = self.model.predict_proba(images, batch_size=self.batch_size)
+        self.queries_used += images.shape[0]
+        return -np.log(probs[:, target_class] + 1e-12)
+
+    def _estimate_gradient(self, image: np.ndarray, target_class: int) -> np.ndarray:
+        """NES antithetic gradient estimate for one CHW image."""
+        probes = self._rng.standard_normal((self.samples_per_step,) + image.shape)
+        plus = clip_pixels(image[None] + self.sigma * probes)
+        minus = clip_pixels(image[None] - self.sigma * probes)
+        losses_plus = self._loss(plus, target_class)
+        losses_minus = self._loss(minus, target_class)
+        weights = (losses_plus - losses_minus).reshape(-1, 1, 1, 1)
+        return (weights * probes).sum(axis=0) / (2.0 * self.sigma * self.samples_per_step)
+
+    def attack(self, images: np.ndarray, target_class: int) -> AttackResult:
+        """Targeted attack on NCHW images using probability queries only."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError("images must be NCHW")
+        if not 0 <= target_class < self.model.num_classes:
+            raise ValueError("target_class out of range")
+        self.queries_used = 0
+
+        original = self.model.predict(images, batch_size=self.batch_size)
+        adversarial = images.copy()
+        for index in range(images.shape[0]):
+            current = images[index].copy()
+            for _ in range(self.num_steps):
+                gradient = self._estimate_gradient(current, target_class)
+                current = current - self.step_size * np.sign(gradient)
+                current = clip_pixels(
+                    project_linf(current[None], images[index][None], self.epsilon)[0]
+                )
+                # Early exit saves queries once the target is reached.
+                if (
+                    self.model.predict(current[None], batch_size=1)[0] == target_class
+                ):
+                    self.queries_used += 1
+                    break
+            adversarial[index] = current
+
+        return AttackResult(
+            adversarial_images=adversarial,
+            original_predictions=original,
+            adversarial_predictions=self.model.predict(adversarial, batch_size=self.batch_size),
+            epsilon=self.epsilon,
+            target_class=target_class,
+            metadata={"queries_used": float(self.queries_used)},
+        )

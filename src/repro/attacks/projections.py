@@ -1,0 +1,60 @@
+"""Norm-ball projections and perturbation utilities.
+
+The paper's threat model restricts the adversary to l∞-norm constrained
+perturbations (§III-B); PGD additionally clips each iterate back into
+the ε-ball around the clean image and into the valid pixel range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def project_linf(perturbed: np.ndarray, clean: np.ndarray, epsilon: float) -> np.ndarray:
+    """Project ``perturbed`` onto the l∞ ball of radius ``epsilon`` around ``clean``."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if perturbed.shape != clean.shape:
+        raise ValueError("perturbed and clean must have identical shapes")
+    return clean + np.clip(perturbed - clean, -epsilon, epsilon)
+
+
+def project_l2(perturbed: np.ndarray, clean: np.ndarray, epsilon: float) -> np.ndarray:
+    """Project onto the per-image l2 ball of radius ``epsilon`` (NCHW batches)."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if perturbed.shape != clean.shape:
+        raise ValueError("perturbed and clean must have identical shapes")
+    delta = perturbed - clean
+    flat = delta.reshape(delta.shape[0], -1)
+    norms = np.linalg.norm(flat, axis=1, keepdims=True)
+    scale = np.minimum(1.0, epsilon / np.maximum(norms, 1e-12))
+    return clean + (flat * scale).reshape(delta.shape)
+
+
+def clip_pixels(images: np.ndarray, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Clip images to the valid pixel range."""
+    return np.clip(images, low, high)
+
+
+def linf_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-image l∞ distance between two NCHW batches."""
+    if a.shape != b.shape:
+        raise ValueError("shapes must match")
+    diff = np.abs(a - b).reshape(a.shape[0], -1)
+    return diff.max(axis=1)
+
+
+def epsilon_from_255(epsilon_255: float) -> float:
+    """Convert the paper's 8-bit ε ∈ {2, 4, 8, 16} to the [0, 1] pixel scale."""
+    if epsilon_255 < 0:
+        raise ValueError("epsilon must be non-negative")
+    return epsilon_255 / 255.0
+
+
+def random_uniform_start(
+    clean: np.ndarray, epsilon: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random point inside the l∞ ε-ball (PGD's random init)."""
+    noise = rng.uniform(-epsilon, epsilon, size=clean.shape)
+    return clip_pixels(clean + noise)

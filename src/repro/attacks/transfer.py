@@ -1,0 +1,89 @@
+"""Transferability study — relaxing the paper's white-box assumption.
+
+TAaMR assumes the adversary holds the deployed extractor's weights
+(§III-B).  A natural robustness question is what happens when they only
+hold a *surrogate* trained on the same catalog: adversarial examples
+are known to transfer between independently trained models.  This
+module crafts attacks on one model and evaluates them on another,
+producing the transfer matrix used by
+``benchmarks/bench_transferability.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..nn import TinyResNet
+from .base import AttackResult, GradientAttack
+
+AttackBuilder = Callable[[TinyResNet], GradientAttack]
+
+
+@dataclass
+class TransferResult:
+    """Success of one surrogate→victim attack transfer."""
+
+    surrogate_name: str
+    victim_name: str
+    white_box_success: float  # success measured on the surrogate
+    transfer_success: float  # success measured on the victim
+    target_class: int
+
+    @property
+    def transfer_ratio(self) -> float:
+        """Transferred fraction of the white-box success (0 when w-b fails)."""
+        if self.white_box_success == 0:
+            return 0.0
+        return self.transfer_success / self.white_box_success
+
+
+def evaluate_transfer(
+    surrogate: TinyResNet,
+    victim: TinyResNet,
+    images: np.ndarray,
+    target_class: int,
+    attack_builder: AttackBuilder,
+    surrogate_name: str = "surrogate",
+    victim_name: str = "victim",
+) -> TransferResult:
+    """Craft on ``surrogate``, measure targeted success on ``victim``."""
+    if surrogate.num_classes != victim.num_classes:
+        raise ValueError("surrogate and victim must share the class space")
+    attack = attack_builder(surrogate)
+    result: AttackResult = attack.attack(images, target_class=target_class)
+    victim_predictions = victim.predict(result.adversarial_images)
+    return TransferResult(
+        surrogate_name=surrogate_name,
+        victim_name=victim_name,
+        white_box_success=result.success_rate(),
+        transfer_success=float((victim_predictions == target_class).mean()),
+        target_class=target_class,
+    )
+
+
+def transfer_matrix(
+    models: Dict[str, TinyResNet],
+    images: np.ndarray,
+    target_class: int,
+    attack_builder: AttackBuilder,
+) -> Dict[str, Dict[str, TransferResult]]:
+    """All surrogate→victim pairs over a named model collection."""
+    if len(models) < 2:
+        raise ValueError("transfer_matrix needs at least two models")
+    matrix: Dict[str, Dict[str, TransferResult]] = {}
+    for surrogate_name, surrogate in models.items():
+        matrix[surrogate_name] = {}
+        for victim_name, victim in models.items():
+            matrix[surrogate_name][victim_name] = evaluate_transfer(
+                surrogate,
+                victim,
+                images,
+                target_class,
+                attack_builder,
+                surrogate_name=surrogate_name,
+                victim_name=victim_name,
+            )
+    return matrix

@@ -1,0 +1,208 @@
+"""Command-line interface for the TAaMR reproduction.
+
+Four subcommands cover the daily workflows::
+
+    python -m repro stats   --dataset men --scale 0.006
+    python -m repro train   --dataset men --scale 0.006 --cache-dir .cache
+    python -m repro attack  --dataset men --source sock --target running_shoe \
+                            --attack pgd --eps 8 --model vbpr --save-images out.png
+    python -m repro tables  --dataset men --scale 0.006
+
+``stats`` prints Table I-style dataset statistics; ``train`` builds (and
+optionally caches) the full experiment context; ``attack`` runs a single
+TAaMR attack and reports CHR / success / visual metrics; ``tables``
+regenerates the paper's Tables II-IV on one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks import BIM, FGSM, MIM, PGD, epsilon_from_255
+from .core import TAaMRPipeline, make_scenario
+from .experiments import (
+    build_context,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    men_config,
+    run_attack_grid,
+    women_config,
+)
+
+ATTACKS = {
+    "fgsm": lambda model, eps, steps, seed: FGSM(model, eps),
+    "pgd": lambda model, eps, steps, seed: PGD(model, eps, num_steps=steps, seed=seed),
+    "bim": lambda model, eps, steps, seed: BIM(model, eps, num_steps=steps),
+    "mim": lambda model, eps, steps, seed: MIM(model, eps, num_steps=steps),
+}
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=("men", "women"), default="men",
+        help="which Amazon-like dataset preset to use",
+    )
+    parser.add_argument("--scale", type=float, default=0.006, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for cached trained weights (speeds up re-runs)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
+
+
+def _make_config(args: argparse.Namespace):
+    factory = men_config if args.dataset == "men" else women_config
+    return factory(scale=args.scale, seed=args.seed)
+
+
+def _build(args: argparse.Namespace):
+    return build_context(
+        _make_config(args), cache_dir=args.cache_dir, verbose=not args.quiet
+    )
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .data import PAPER_SIZES, amazon_men_like, amazon_women_like
+
+    builder = amazon_men_like if args.dataset == "men" else amazon_women_like
+    dataset = builder(scale=args.scale, seed=args.seed)
+    paper_key = "amazon_men" if args.dataset == "men" else "amazon_women"
+    paper_row = dict(PAPER_SIZES[paper_key])
+    paper_row["interactions_per_user"] = (
+        paper_row["interactions"] / paper_row["users"]
+    )
+    print(format_table1({dataset.name: dataset.stats(), f"paper: {paper_key}": paper_row}))
+    print("\nItems per category:")
+    for name, count in sorted(dataset.category_item_counts().items()):
+        print(f"  {name:15s} {count}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    context = _build(args)
+    print(f"classifier accuracy: {context.classifier_accuracy:.3f}")
+    from .recommenders import evaluate_ranking
+
+    for name in ("VBPR", "AMR"):
+        report = evaluate_ranking(
+            context.recommender(name), context.dataset.feedback, cutoff=10
+        )
+        print(f"{name}: {report.as_dict()}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    context = _build(args)
+    registry = context.dataset.registry
+    try:
+        scenario = make_scenario(registry, args.source, args.target)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    attack = ATTACKS[args.attack](
+        context.classifier, epsilon_from_255(args.eps), args.steps, args.seed
+    )
+    pipeline = TAaMRPipeline(
+        context.dataset,
+        context.extractor,
+        context.recommender(args.model),
+        cutoff=args.cutoff,
+    )
+    outcome = pipeline.attack_category(scenario, attack, attack_name=args.attack.upper())
+
+    print(f"scenario:        {scenario.label()}")
+    print(f"attack:          {outcome.attack_name} (ε = {args.eps}/255)")
+    print(f"success rate:    {outcome.success_rate:.1%}")
+    print(
+        f"CHR@{pipeline.cutoff}:         {outcome.chr_source_before:.3f}% -> "
+        f"{outcome.chr_source_after:.3f}%  (x{outcome.chr_uplift:.2f})"
+    )
+    print(f"target CHR@{pipeline.cutoff}:  {outcome.chr_target_before:.3f}%")
+    print(
+        f"visual quality:  PSNR {outcome.visual.psnr:.2f} dB | "
+        f"SSIM {outcome.visual.ssim:.4f} | PSM {outcome.visual.psm:.4f}"
+    )
+
+    if args.save_images:
+        from .viz import save_attack_comparison
+
+        count = min(args.num_images, outcome.attacked_item_ids.size)
+        clean = context.dataset.images[outcome.attacked_item_ids[:count]]
+        save_attack_comparison(
+            clean, outcome.adversarial_images[:count], args.save_images
+        )
+        print(f"clean/attacked grid saved to {args.save_images}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    context = _build(args)
+    grids = [run_attack_grid(context, name) for name in ("VBPR", "AMR")]
+    epsilons = context.config.epsilons_255
+    print(format_table2(grids, epsilons))
+    print()
+    print(format_table3(grids[:1], epsilons))
+    print()
+    print(format_table4(grids[0], epsilons))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAaMR (DSN 2020) reproduction — targeted adversarial "
+        "attacks against multimedia recommenders",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="dataset statistics (Table I)")
+    _add_common_arguments(stats)
+    stats.set_defaults(handler=cmd_stats)
+
+    train = subparsers.add_parser("train", help="train classifier + recommenders")
+    _add_common_arguments(train)
+    train.set_defaults(handler=cmd_train)
+
+    attack = subparsers.add_parser("attack", help="run one TAaMR attack")
+    _add_common_arguments(attack)
+    attack.add_argument("--source", default="sock", help="source category name")
+    attack.add_argument("--target", default="running_shoe", help="target category name")
+    attack.add_argument("--attack", choices=sorted(ATTACKS), default="pgd")
+    attack.add_argument("--eps", type=float, default=8.0, help="ε on the 0-255 scale")
+    attack.add_argument("--steps", type=int, default=10, help="iterations (pgd/bim/mim)")
+    attack.add_argument("--model", choices=("vbpr", "amr"), default="vbpr")
+    attack.add_argument("--cutoff", type=int, default=100, help="N of CHR@N")
+    attack.add_argument("--save-images", default=None, help="write a PNG comparison grid")
+    attack.add_argument("--num-images", type=int, default=8, help="pairs in the grid")
+    attack.set_defaults(handler=cmd_attack)
+
+    tables = subparsers.add_parser("tables", help="regenerate Tables II-IV")
+    _add_common_arguments(tables)
+    tables.set_defaults(handler=cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Analysis helpers over attack outcomes: curves, shifts, terminal plots.
+
+Turns lists of :class:`AttackOutcome` into the series the paper's
+discussion reasons about (CHR-vs-ε curves, exposure shifts between
+categories) plus a dependency-free ASCII renderer so examples can show
+the curves in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..recommenders.base import Recommender
+from .chr import chr_by_category
+from .pipeline import AttackOutcome, TAaMRPipeline
+
+
+def chr_curve(
+    outcomes: Sequence[AttackOutcome], attack_name: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(ε, CHR-after) series for one attack, sorted by ε."""
+    cells = sorted(
+        (o for o in outcomes if o.attack_name == attack_name),
+        key=lambda o: o.epsilon_255,
+    )
+    if not cells:
+        raise ValueError(f"no outcomes for attack '{attack_name}'")
+    return (
+        np.array([o.epsilon_255 for o in cells]),
+        np.array([o.chr_source_after for o in cells]),
+    )
+
+
+def success_curve(
+    outcomes: Sequence[AttackOutcome], attack_name: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(ε, success-rate) series for one attack, sorted by ε."""
+    cells = sorted(
+        (o for o in outcomes if o.attack_name == attack_name),
+        key=lambda o: o.epsilon_255,
+    )
+    if not cells:
+        raise ValueError(f"no outcomes for attack '{attack_name}'")
+    return (
+        np.array([o.epsilon_255 for o in cells]),
+        np.array([o.success_rate for o in cells]),
+    )
+
+
+def category_shift(
+    pipeline: TAaMRPipeline, outcome: AttackOutcome
+) -> Dict[str, float]:
+    """Per-category CHR change (percentage points) caused by one attack.
+
+    Shows where the attacked category's gained exposure came *from* —
+    the zero-sum redistribution the paper's CHR tables only hint at.
+    """
+    recommender: Recommender = pipeline.recommender
+    top_after = recommender.top_n(
+        pipeline.cutoff, feedback=pipeline.dataset.feedback, scores=outcome.scores_after
+    )
+    names = pipeline.dataset.registry.names
+    before = chr_by_category(pipeline.clean_top_n, pipeline.item_classes, len(names))
+    after = chr_by_category(top_after, pipeline.item_classes, len(names))
+    return {
+        name: 100.0 * float(after[idx] - before[idx]) for idx, name in enumerate(names)
+    }
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 48,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render one series as an ASCII line chart (terminal-friendly)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    if width < 8 or height < 3:
+        raise ValueError("width >= 8 and height >= 3 required")
+
+    y_low, y_high = float(ys.min()), float(ys.max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(xs.min()), float(xs.max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = height - 1 - int((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[row][col] = "o"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for row_idx, row in enumerate(grid):
+        y_value = y_high - row_idx * (y_high - y_low) / (height - 1)
+        lines.append(f"{y_value:8.2f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {x_low:<10.1f}{'':^{max(0, width - 21)}}{x_high:>10.1f}")
+    return "\n".join(lines)

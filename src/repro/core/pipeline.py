@@ -1,0 +1,235 @@
+"""TAaMR orchestration — the paper's end-to-end attack pipeline (Fig. 1).
+
+Flow: trained classifier ``F`` → layer-e features → trained multimedia
+recommender → clean CHR@N per category → targeted attack on a source
+category's images → feature re-extraction → re-scoring → post-attack
+CHR@N, targeted success rate and visual-quality metrics.
+
+The pipeline never retrains the recommender after the attack: TAaMR is a
+prediction-time attack — the adversary swaps product images and the
+deployed system recomputes features and scores, exactly as modelled by
+``VBPR.score_all(features=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..attacks.base import AttackResult, GradientAttack
+from ..data.datasets import MultimediaDataset
+from ..features.extractor import FeatureExtractor
+from ..metrics import batch_psnr, batch_ssim, psm_from_features
+from ..recommenders.evaluation import recommendation_rank_of_item
+from ..recommenders.vbpr import VBPR
+from .chr import category_hit_ratio, chr_report
+from .scenarios import AttackScenario
+
+
+@dataclass
+class VisualQuality:
+    """Mean visual-distortion metrics of an attacked image set (Table IV)."""
+
+    psnr: float
+    ssim: float
+    psm: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"PSNR": self.psnr, "SSIM": self.ssim, "PSM": self.psm}
+
+
+@dataclass
+class AttackOutcome:
+    """Everything Tables II–IV and Fig. 2 need about one attack run."""
+
+    scenario: AttackScenario
+    attack_name: str
+    epsilon_255: float
+    chr_source_before: float  # percent, clean model (the "Sock(2.122)" header)
+    chr_target_before: float  # percent, clean model (the "Running Shoes(7.888)")
+    chr_source_after: float  # percent, post-attack (the table cell)
+    success_rate: float  # Table III cell (fraction in [0, 1])
+    visual: VisualQuality
+    attacked_item_ids: np.ndarray
+    adversarial_images: np.ndarray
+    scores_after: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def chr_uplift(self) -> float:
+        """Multiplicative CHR increase of the attacked category."""
+        if self.chr_source_before == 0:
+            return float("inf") if self.chr_source_after > 0 else 1.0
+        return self.chr_source_after / self.chr_source_before
+
+
+@dataclass
+class ItemReport:
+    """Fig. 2-style per-item view: probability and rank before/after."""
+
+    item_id: int
+    source_probability_before: float
+    target_probability_before: float
+    source_probability_after: float
+    target_probability_after: float
+    mean_rank_before: float
+    mean_rank_after: float
+    median_rank_before: float
+    median_rank_after: float
+
+
+class TAaMRPipeline:
+    """Bundles dataset, extractor and recommender behind the attack API.
+
+    Parameters
+    ----------
+    dataset:
+        The multimedia dataset under attack.
+    extractor:
+        Fitted :class:`FeatureExtractor` whose features trained the
+        recommender.
+    recommender:
+        A fitted VBPR-family model (VBPR or AMR) — anything whose
+        ``score_all`` accepts replacement features.
+    cutoff:
+        N of CHR@N and of the recommendation lists (paper: 100).
+    """
+
+    def __init__(
+        self,
+        dataset: MultimediaDataset,
+        extractor: FeatureExtractor,
+        recommender: VBPR,
+        cutoff: int = 100,
+    ) -> None:
+        if not isinstance(recommender, VBPR):
+            raise TypeError("TAaMR requires a visual recommender (VBPR or AMR)")
+        if not recommender.is_fitted:
+            raise RuntimeError("recommender must be fitted before building the pipeline")
+        if not extractor.is_fitted:
+            raise RuntimeError("extractor must be fitted before building the pipeline")
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.dataset = dataset
+        self.extractor = extractor
+        self.recommender = recommender
+        self.cutoff = min(cutoff, dataset.num_items)
+
+        # Definition 5 uses classifier-assigned classes: I_c = {i | F(x_i) = c}.
+        self.item_classes = extractor.model.predict(dataset.images)
+        self.clean_features = extractor.transform(dataset.images)
+        self.clean_scores = recommender.score_all(features=self.clean_features)
+        self.clean_top_n = recommender.top_n(
+            self.cutoff, feedback=dataset.feedback, scores=self.clean_scores
+        )
+
+    # ------------------------------------------------------------------ #
+    # Clean-model views
+    # ------------------------------------------------------------------ #
+    def clean_chr_report(self) -> Dict[str, float]:
+        """CHR@N percentage per category on the clean model."""
+        return chr_report(self.clean_top_n, self.item_classes, self.dataset.registry.names)
+
+    def category_items(self, category_name: str) -> np.ndarray:
+        """I_c per Definition 5 (classifier-predicted membership)."""
+        class_id = self.dataset.registry.by_name(category_name).category_id
+        return np.flatnonzero(self.item_classes == class_id)
+
+    def _chr_percent_of_items(self, item_ids: np.ndarray, top_n: np.ndarray) -> float:
+        return 100.0 * category_hit_ratio(top_n, item_ids)
+
+    # ------------------------------------------------------------------ #
+    # The attack
+    # ------------------------------------------------------------------ #
+    def attack_category(
+        self,
+        scenario: AttackScenario,
+        attack: GradientAttack,
+        attack_name: Optional[str] = None,
+    ) -> AttackOutcome:
+        """Run one TAaMR attack and measure its effect end to end."""
+        registry = self.dataset.registry
+        target_class = registry.by_name(scenario.target).category_id
+        source_items = self.category_items(scenario.source)
+        if source_items.size == 0:
+            raise ValueError(
+                f"classifier assigns no items to source category '{scenario.source}'"
+            )
+        target_items = self.category_items(scenario.target)
+
+        clean_images = self.dataset.images[source_items]
+        result: AttackResult = attack.attack(clean_images, target_class=target_class)
+
+        # The deployed system re-extracts features from the swapped images.
+        features_after = self.clean_features.copy()
+        features_after[source_items] = self.extractor.transform(result.adversarial_images)
+        scores_after = self.recommender.score_all(features=features_after)
+        top_after = self.recommender.top_n(
+            self.cutoff, feedback=self.dataset.feedback, scores=scores_after
+        )
+
+        visual = VisualQuality(
+            psnr=float(np.mean(batch_psnr(clean_images, result.adversarial_images))),
+            ssim=float(np.mean(batch_ssim(clean_images, result.adversarial_images))),
+            psm=float(
+                np.mean(
+                    psm_from_features(
+                        self.extractor.model.extract_features(clean_images),
+                        self.extractor.model.extract_features(result.adversarial_images),
+                    )
+                )
+            ),
+        )
+
+        return AttackOutcome(
+            scenario=scenario,
+            attack_name=attack_name or type(attack).__name__,
+            epsilon_255=attack.epsilon * 255.0,
+            chr_source_before=self._chr_percent_of_items(source_items, self.clean_top_n),
+            chr_target_before=self._chr_percent_of_items(target_items, self.clean_top_n),
+            chr_source_after=self._chr_percent_of_items(source_items, top_after),
+            success_rate=result.success_rate(),
+            visual=visual,
+            attacked_item_ids=source_items,
+            adversarial_images=result.adversarial_images,
+            scores_after=scores_after,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fig. 2: per-item inspection
+    # ------------------------------------------------------------------ #
+    def item_report(self, outcome: AttackOutcome, item_id: int) -> ItemReport:
+        """Probability and recommendation-rank change of one attacked item."""
+        position = np.flatnonzero(outcome.attacked_item_ids == item_id)
+        if position.size == 0:
+            raise ValueError(f"item {item_id} was not attacked in this outcome")
+        registry = self.dataset.registry
+        source_class = registry.by_name(outcome.scenario.source).category_id
+        target_class = registry.by_name(outcome.scenario.target).category_id
+
+        model = self.extractor.model
+        probs_before = model.predict_proba(self.dataset.images[item_id][None])[0]
+        adversarial = outcome.adversarial_images[position[0]]
+        probs_after = model.predict_proba(adversarial[None])[0]
+
+        ranks_before = recommendation_rank_of_item(
+            self.clean_scores, self.dataset.feedback, item_id
+        )
+        ranks_after = recommendation_rank_of_item(
+            outcome.scores_after, self.dataset.feedback, item_id
+        )
+        valid_before = ranks_before[ranks_before > 0]
+        valid_after = ranks_after[ranks_after > 0]
+
+        return ItemReport(
+            item_id=item_id,
+            source_probability_before=float(probs_before[source_class]),
+            target_probability_before=float(probs_before[target_class]),
+            source_probability_after=float(probs_after[source_class]),
+            target_probability_after=float(probs_after[target_class]),
+            mean_rank_before=float(valid_before.mean()) if valid_before.size else 0.0,
+            mean_rank_after=float(valid_after.mean()) if valid_after.size else 0.0,
+            median_rank_before=float(np.median(valid_before)) if valid_before.size else 0.0,
+            median_rank_after=float(np.median(valid_after)) if valid_after.size else 0.0,
+        )

@@ -1,0 +1,121 @@
+"""Attack scenario selection (paper §IV-A5, "Experimental Protocol").
+
+The protocol starts from the clean-model CHR@100 per category, then
+builds two attack scenarios per dataset:
+
+* a **semantically similar** pair — source and target share a semantic
+  group (Sock → Running Shoes, Maillot → Brassiere);
+* a **semantically dissimilar** pair — different groups
+  (Sock → Analog Clock, Maillot → Chain).
+
+Sources are *low* recommended categories, targets *highly* recommended
+ones — the adversary's economic motivation.  Scenarios can be selected
+automatically from measured CHR values (mirroring the paper's "based on
+the initial CHR@100 we selected two attack scenarios"), or constructed
+explicitly by name to match the paper verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..data.categories import CategoryRegistry
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """A source→target category pair for a targeted attack."""
+
+    source: str
+    target: str
+    semantically_similar: bool
+
+    def label(self) -> str:
+        kind = "similar" if self.semantically_similar else "dissimilar"
+        return f"{self.source}→{self.target} ({kind})"
+
+
+def make_scenario(registry: CategoryRegistry, source: str, target: str) -> AttackScenario:
+    """Explicit scenario with similarity derived from the registry."""
+    if source == target:
+        raise ValueError("source and target must differ")
+    registry.by_name(source)  # validation
+    registry.by_name(target)
+    return AttackScenario(
+        source=source,
+        target=target,
+        semantically_similar=registry.semantically_similar(source, target),
+    )
+
+
+def select_scenarios(
+    registry: CategoryRegistry,
+    chr_per_category: Dict[str, float],
+    source: Optional[str] = None,
+    min_target_chr_ratio: float = 1.5,
+) -> List[AttackScenario]:
+    """Derive the paper's two scenarios from measured clean CHR values.
+
+    Parameters
+    ----------
+    registry:
+        Category registry with semantic groups.
+    chr_per_category:
+        Clean-model CHR@N per category name (any consistent scale).
+    source:
+        Attack source; defaults to the category with the lowest CHR.
+    min_target_chr_ratio:
+        Candidate targets must out-rank the source's CHR by this factor —
+        attacking *toward* an equally unpopular class makes no sense.
+
+    Returns
+    -------
+    ``[similar_scenario, dissimilar_scenario]`` — either may be missing
+    if no qualifying target exists, so the list has length 1 or 2.
+    """
+    missing = [name for name in registry.names if name not in chr_per_category]
+    if missing:
+        raise ValueError(f"chr_per_category missing categories: {missing}")
+
+    if source is None:
+        source = min(registry.names, key=lambda name: chr_per_category[name])
+    else:
+        registry.by_name(source)
+
+    source_chr = chr_per_category[source]
+    floor = source_chr * min_target_chr_ratio
+    candidates = [
+        name
+        for name in registry.names
+        if name != source and chr_per_category[name] >= floor
+    ]
+
+    scenarios: List[AttackScenario] = []
+    similar = [c for c in candidates if registry.semantically_similar(source, c)]
+    if similar:
+        best = max(similar, key=lambda name: chr_per_category[name])
+        scenarios.append(AttackScenario(source, best, semantically_similar=True))
+    dissimilar = [c for c in candidates if not registry.semantically_similar(source, c)]
+    if dissimilar:
+        best = max(dissimilar, key=lambda name: chr_per_category[name])
+        scenarios.append(AttackScenario(source, best, semantically_similar=False))
+    if not scenarios:
+        raise ValueError(
+            f"no target category has CHR >= {min_target_chr_ratio}x the source's; "
+            "the recommender shows no exploitable popularity imbalance"
+        )
+    return scenarios
+
+
+def paper_scenarios(dataset_name: str, registry: CategoryRegistry) -> List[AttackScenario]:
+    """The literal scenarios of Tables II/III, keyed by dataset family."""
+    if "women" in dataset_name:
+        pairs = [("maillot", "brassiere"), ("maillot", "chain")]
+    elif "men" in dataset_name:
+        pairs = [("sock", "running_shoe"), ("sock", "analog_clock")]
+    else:
+        raise ValueError(
+            f"no paper scenarios for dataset '{dataset_name}'; use select_scenarios()"
+        )
+    return [make_scenario(registry, source, target) for source, target in pairs]

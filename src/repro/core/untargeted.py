@@ -1,0 +1,104 @@
+"""Untargeted-attack experiment — the baseline setting TAaMR departs from.
+
+The paper positions itself against Tang et al.'s AMR work [20], which
+"investigated the performance worsening with *untargeted* perturbation
+on input images" (§I).  To let users compare the two threat models on
+one substrate, this module runs the untargeted counterpart of the TAaMR
+pipeline: perturb a category's images *away from their own class* (Def.
+3), re-extract features, and measure
+
+* the recommender's accuracy degradation (HR@N / nDCG@N on the
+  leave-one-out split — the metrics [20] reports), and
+* the CHR@N drift of the attacked category (for contrast with Table II:
+  untargeted attacks scatter items across classes instead of pushing
+  them toward a popular one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..attacks.base import GradientAttack
+from ..recommenders.evaluation import RankingReport, evaluate_ranking
+from .pipeline import TAaMRPipeline
+from .chr import category_hit_ratio
+
+
+@dataclass
+class UntargetedOutcome:
+    """Effect of an untargeted attack on one category's images."""
+
+    category: str
+    epsilon_255: float
+    misclassification_rate: float  # fraction leaving their original class
+    chr_before: float  # percent
+    chr_after: float  # percent
+    ranking_before: RankingReport
+    ranking_after: RankingReport
+
+    @property
+    def hit_ratio_drop(self) -> float:
+        return self.ranking_before.hit_ratio - self.ranking_after.hit_ratio
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "misclassification_rate": self.misclassification_rate,
+            "chr_before": self.chr_before,
+            "chr_after": self.chr_after,
+            "hr_before": self.ranking_before.hit_ratio,
+            "hr_after": self.ranking_after.hit_ratio,
+            "ndcg_before": self.ranking_before.ndcg,
+            "ndcg_after": self.ranking_after.ndcg,
+        }
+
+
+def run_untargeted_attack(
+    pipeline: TAaMRPipeline,
+    category: str,
+    attack: GradientAttack,
+    ranking_cutoff: int = 10,
+) -> UntargetedOutcome:
+    """Untargeted-attack one category and measure recommender degradation."""
+    dataset = pipeline.dataset
+    items = pipeline.category_items(category)
+    if items.size == 0:
+        raise ValueError(f"classifier assigns no items to category '{category}'")
+    class_id = dataset.registry.by_name(category).category_id
+
+    clean_images = dataset.images[items]
+    result = attack.attack(
+        clean_images, true_labels=np.full(items.size, class_id)
+    )
+    misclassified = float(
+        (result.adversarial_predictions != class_id).mean()
+    )
+
+    features_after = pipeline.clean_features.copy()
+    features_after[items] = pipeline.extractor.transform(result.adversarial_images)
+    scores_after = pipeline.recommender.score_all(features=features_after)
+    top_after = pipeline.recommender.top_n(
+        pipeline.cutoff, feedback=dataset.feedback, scores=scores_after
+    )
+
+    ranking_before = evaluate_ranking(
+        pipeline.recommender,
+        dataset.feedback,
+        cutoff=ranking_cutoff,
+        scores=pipeline.clean_scores,
+    )
+    ranking_after = evaluate_ranking(
+        pipeline.recommender, dataset.feedback, cutoff=ranking_cutoff, scores=scores_after
+    )
+
+    return UntargetedOutcome(
+        category=category,
+        epsilon_255=attack.epsilon * 255.0,
+        misclassification_rate=misclassified,
+        chr_before=100.0 * category_hit_ratio(pipeline.clean_top_n, items),
+        chr_after=100.0 * category_hit_ratio(top_after, items),
+        ranking_before=ranking_before,
+        ranking_after=ranking_after,
+    )

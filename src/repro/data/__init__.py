@@ -1,0 +1,73 @@
+"""``repro.data`` — synthetic fashion catalog, images and implicit feedback.
+
+Stand-in for the paper's Amazon Men / Amazon Women datasets (Table I);
+see DESIGN.md §2 for the substitution rationale.
+"""
+
+from .categories import (
+    Category,
+    CategoryRegistry,
+    MEN_CATEGORIES,
+    WOMEN_CATEGORIES,
+    men_registry,
+    women_registry,
+)
+from .datasets import (
+    MultimediaDataset,
+    PAPER_SIZES,
+    amazon_men_like,
+    amazon_women_like,
+    build_dataset,
+    tiny_dataset,
+)
+from .augment import (
+    AugmentationPipeline,
+    default_augmentation,
+    random_brightness,
+    random_crop_with_pad,
+    random_gaussian_noise,
+    random_horizontal_flip,
+)
+from .serialization import load_dataset, save_dataset
+from .amazon import (
+    Review,
+    build_feedback_from_reviews,
+    categories_for_items,
+    load_amazon_metadata,
+    load_amazon_reviews,
+)
+from .images import MOTIFS, ProductImageGenerator
+from .interactions import ImplicitFeedback, InteractionConfig, generate_feedback
+
+__all__ = [
+    "Category",
+    "CategoryRegistry",
+    "MEN_CATEGORIES",
+    "WOMEN_CATEGORIES",
+    "men_registry",
+    "women_registry",
+    "MultimediaDataset",
+    "PAPER_SIZES",
+    "amazon_men_like",
+    "amazon_women_like",
+    "build_dataset",
+    "tiny_dataset",
+    "ProductImageGenerator",
+    "MOTIFS",
+    "ImplicitFeedback",
+    "InteractionConfig",
+    "generate_feedback",
+    "save_dataset",
+    "load_dataset",
+    "Review",
+    "load_amazon_reviews",
+    "load_amazon_metadata",
+    "build_feedback_from_reviews",
+    "categories_for_items",
+    "AugmentationPipeline",
+    "default_augmentation",
+    "random_horizontal_flip",
+    "random_crop_with_pad",
+    "random_brightness",
+    "random_gaussian_noise",
+]

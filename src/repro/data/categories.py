@@ -1,0 +1,125 @@
+"""Product-category registry for the synthetic fashion catalog.
+
+The paper runs TAaMR on the Amazon "Clothing, Shoes and Jewelry"
+categories, with attack scenarios over ImageNet-style classes:
+*Sock → Running Shoes*, *Sock → Analog Clock*, *Sock → Jersey/T-shirt*
+(Amazon Men) and *Maillot → Brassiere*, *Maillot → Chain* (Amazon
+Women).  The synthetic substrate keeps those exact class names so the
+scenario configuration in :mod:`repro.core.scenarios` reads like the
+paper, and adds a few filler categories so recommendation lists have a
+realistic mix.
+
+Each category carries:
+
+* ``popularity``: relative weight in user preferences — chosen so the
+  paper's source classes (sock, maillot) are *low* recommended and the
+  target classes (running shoes, brassiere, …) are *highly* recommended,
+  reproducing the CHR imbalance that motivates the attack scenarios.
+* ``semantic_group``: coarse grouping used to label source→target pairs
+  as semantically similar (same group) or dissimilar (different group),
+  mirroring the paper's two scenario families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Category:
+    """A product category (also a classifier class)."""
+
+    category_id: int
+    name: str
+    popularity: float
+    semantic_group: str
+
+    def __post_init__(self) -> None:
+        if self.popularity <= 0:
+            raise ValueError("category popularity must be positive")
+
+
+#: Canonical categories of the "Amazon Men"-like synthetic dataset.
+MEN_CATEGORIES: Tuple[Tuple[str, float, str], ...] = (
+    ("sock", 0.03, "footwear"),
+    ("running_shoe", 0.24, "footwear"),
+    ("jersey_tshirt", 0.20, "topwear"),
+    ("analog_clock", 0.13, "accessory"),
+    ("sweatshirt", 0.12, "topwear"),
+    ("jeans", 0.12, "bottomwear"),
+    ("sandal", 0.06, "footwear"),
+    ("sunglasses", 0.10, "accessory"),
+)
+
+#: Canonical categories of the "Amazon Women"-like synthetic dataset.
+WOMEN_CATEGORIES: Tuple[Tuple[str, float, str], ...] = (
+    ("maillot", 0.03, "bodywear"),
+    ("brassiere", 0.24, "bodywear"),
+    ("chain", 0.11, "accessory"),
+    ("jersey_tshirt", 0.18, "topwear"),
+    ("handbag", 0.16, "accessory"),
+    ("sandal", 0.10, "footwear"),
+    ("jeans", 0.10, "bottomwear"),
+    ("sunglasses", 0.08, "accessory"),
+)
+
+
+class CategoryRegistry:
+    """Ordered, indexable collection of categories.
+
+    The registry order defines the classifier's class indices, so the
+    mapping category ↔ class id is stable across the pipeline.
+    """
+
+    def __init__(self, specs: Sequence[Tuple[str, float, str]]) -> None:
+        if len(specs) < 2:
+            raise ValueError("a registry needs at least two categories")
+        names = [name for name, _, _ in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate category names")
+        self._categories: List[Category] = [
+            Category(category_id=idx, name=name, popularity=pop, semantic_group=group)
+            for idx, (name, pop, group) in enumerate(specs)
+        ]
+        self._by_name: Dict[str, Category] = {c.name: c for c in self._categories}
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __iter__(self):
+        return iter(self._categories)
+
+    def __getitem__(self, category_id: int) -> Category:
+        return self._categories[category_id]
+
+    def by_name(self, name: str) -> Category:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown category '{name}'; known: {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self._categories]
+
+    def popularity_vector(self) -> List[float]:
+        """Normalised popularity weights, indexed by category id."""
+        total = sum(c.popularity for c in self._categories)
+        return [c.popularity / total for c in self._categories]
+
+    def semantically_similar(self, source: str, target: str) -> bool:
+        """True when two categories share a semantic group (paper §IV-A5)."""
+        return self.by_name(source).semantic_group == self.by_name(target).semantic_group
+
+
+def men_registry() -> CategoryRegistry:
+    """Categories of the Amazon-Men-like dataset."""
+    return CategoryRegistry(MEN_CATEGORIES)
+
+
+def women_registry() -> CategoryRegistry:
+    """Categories of the Amazon-Women-like dataset."""
+    return CategoryRegistry(WOMEN_CATEGORIES)

@@ -1,0 +1,322 @@
+"""Procedural product-image generator — the stand-in for Amazon photos.
+
+The paper downloads real product pictures and classifies them with an
+ImageNet ResNet50.  Offline we synthesise images instead: every category
+has a distinct geometric motif (a sock tube, a shoe wedge, a clock dial,
+…) rendered with per-item variation in colour, scale, position and
+texture.  The motifs are chosen so that
+
+* a small CNN can learn to separate the categories well (the paper's
+  extractor is near-perfect on its classes), while
+* items within a category still vary, giving VBPR non-degenerate visual
+  factors, and
+* gradient-based attacks can move an image across the decision boundary
+  with a small l∞ perturbation — the property TAaMR exploits.
+
+Images are float arrays in ``[0, 1]``, CHW layout, RGB.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .categories import CategoryRegistry
+
+MaskFn = Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]
+
+
+# --------------------------------------------------------------------- #
+# Shape primitives on a normalised [0,1]² grid
+# --------------------------------------------------------------------- #
+
+
+def _rect(xx: np.ndarray, yy: np.ndarray, x0: float, x1: float, y0: float, y1: float) -> np.ndarray:
+    return ((xx >= x0) & (xx <= x1) & (yy >= y0) & (yy <= y1)).astype(np.float64)
+
+
+def _ellipse(
+    xx: np.ndarray, yy: np.ndarray, cx: float, cy: float, rx: float, ry: float
+) -> np.ndarray:
+    return ((((xx - cx) / rx) ** 2 + ((yy - cy) / ry) ** 2) <= 1.0).astype(np.float64)
+
+
+def _annulus(
+    xx: np.ndarray,
+    yy: np.ndarray,
+    cx: float,
+    cy: float,
+    r_outer: float,
+    r_inner: float,
+) -> np.ndarray:
+    dist2 = (xx - cx) ** 2 + (yy - cy) ** 2
+    return ((dist2 <= r_outer ** 2) & (dist2 >= r_inner ** 2)).astype(np.float64)
+
+
+def _line(
+    xx: np.ndarray,
+    yy: np.ndarray,
+    p0: Tuple[float, float],
+    p1: Tuple[float, float],
+    width: float,
+) -> np.ndarray:
+    """Thick line segment from p0 to p1."""
+    px, py = p0
+    qx, qy = p1
+    vx, vy = qx - px, qy - py
+    length2 = vx * vx + vy * vy + 1e-12
+    t = np.clip(((xx - px) * vx + (yy - py) * vy) / length2, 0.0, 1.0)
+    dx = xx - (px + t * vx)
+    dy = yy - (py + t * vy)
+    return ((dx * dx + dy * dy) <= width * width).astype(np.float64)
+
+
+# --------------------------------------------------------------------- #
+# Category motifs
+# --------------------------------------------------------------------- #
+
+
+def _motif_sock(xx, yy, rng) -> np.ndarray:
+    leg = _rect(xx, yy, 0.40, 0.62, 0.10, 0.62)
+    foot = _rect(xx, yy, 0.30, 0.62, 0.62, 0.82)
+    toe = _ellipse(xx, yy, 0.32, 0.72, 0.12, 0.10)
+    mask = np.clip(leg + foot + toe, 0, 1)
+    stripes = ((np.floor(yy * 10) % 2) == 0) & (yy < 0.45)
+    return mask * np.where(stripes, 0.55, 1.0)
+
+
+def _motif_running_shoe(xx, yy, rng) -> np.ndarray:
+    body = _ellipse(xx, yy, 0.50, 0.58, 0.38, 0.20)
+    heel = _rect(xx, yy, 0.68, 0.88, 0.40, 0.70)
+    sole = _rect(xx, yy, 0.10, 0.90, 0.68, 0.78)
+    mask = np.clip(body + heel + sole, 0, 1)
+    laces = _line(xx, yy, (0.35, 0.45), (0.55, 0.58), 0.02)
+    return np.clip(mask + 0.0 * laces, 0, 1) * np.where(laces > 0, 0.4, 1.0)
+
+
+def _motif_jersey_tshirt(xx, yy, rng) -> np.ndarray:
+    torso = _rect(xx, yy, 0.33, 0.67, 0.25, 0.85)
+    sleeves = _rect(xx, yy, 0.12, 0.88, 0.25, 0.45)
+    collar = _ellipse(xx, yy, 0.50, 0.25, 0.09, 0.05)
+    mask = np.clip(torso + sleeves, 0, 1)
+    return mask * (1.0 - 0.8 * collar)
+
+
+def _motif_analog_clock(xx, yy, rng) -> np.ndarray:
+    dial = _annulus(xx, yy, 0.5, 0.5, 0.38, 0.32)
+    face = _ellipse(xx, yy, 0.5, 0.5, 0.32, 0.32) * 0.35
+    hour = _line(xx, yy, (0.5, 0.5), (0.5 + 0.18, 0.5 - 0.10), 0.025)
+    minute = _line(xx, yy, (0.5, 0.5), (0.5 - 0.05, 0.5 - 0.26), 0.02)
+    ticks = np.zeros_like(xx)
+    for angle in np.linspace(0, 2 * np.pi, 12, endpoint=False):
+        tx = 0.5 + 0.29 * np.cos(angle)
+        ty = 0.5 + 0.29 * np.sin(angle)
+        ticks += _ellipse(xx, yy, tx, ty, 0.018, 0.018)
+    return np.clip(dial + face + hour + minute + ticks, 0, 1)
+
+
+def _motif_sweatshirt(xx, yy, rng) -> np.ndarray:
+    torso = _rect(xx, yy, 0.30, 0.70, 0.30, 0.88)
+    sleeves = _rect(xx, yy, 0.10, 0.90, 0.30, 0.60)
+    hood = _annulus(xx, yy, 0.5, 0.26, 0.16, 0.09)
+    pocket = _rect(xx, yy, 0.40, 0.60, 0.65, 0.80) * 0.5
+    return np.clip(torso + sleeves + hood - pocket * 0.4, 0, 1)
+
+
+def _motif_jeans(xx, yy, rng) -> np.ndarray:
+    waist = _rect(xx, yy, 0.30, 0.70, 0.12, 0.24)
+    left = _rect(xx, yy, 0.30, 0.47, 0.24, 0.90)
+    right = _rect(xx, yy, 0.53, 0.70, 0.24, 0.90)
+    seam = _rect(xx, yy, 0.30, 0.70, 0.12, 0.15) * 0.4
+    return np.clip(waist + left + right - seam, 0, 1)
+
+
+def _motif_sandal(xx, yy, rng) -> np.ndarray:
+    sole = _ellipse(xx, yy, 0.50, 0.70, 0.36, 0.12)
+    strap1 = _line(xx, yy, (0.25, 0.62), (0.55, 0.42), 0.035)
+    strap2 = _line(xx, yy, (0.55, 0.42), (0.75, 0.62), 0.035)
+    return np.clip(sole + strap1 + strap2, 0, 1)
+
+
+def _motif_sunglasses(xx, yy, rng) -> np.ndarray:
+    left = _ellipse(xx, yy, 0.32, 0.50, 0.15, 0.12)
+    right = _ellipse(xx, yy, 0.68, 0.50, 0.15, 0.12)
+    bridge = _line(xx, yy, (0.44, 0.46), (0.56, 0.46), 0.02)
+    arms = _line(xx, yy, (0.17, 0.48), (0.06, 0.40), 0.02) + _line(
+        xx, yy, (0.83, 0.48), (0.94, 0.40), 0.02
+    )
+    return np.clip(left + right + bridge + arms, 0, 1)
+
+
+def _motif_maillot(xx, yy, rng) -> np.ndarray:
+    # One-piece silhouette: width pinched at the waist.
+    width = 0.26 - 0.10 * np.sin(np.pi * np.clip((yy - 0.15) / 0.7, 0, 1))
+    body = (np.abs(xx - 0.5) <= width) & (yy >= 0.15) & (yy <= 0.85)
+    straps = _line(xx, yy, (0.40, 0.15), (0.42, 0.05), 0.02) + _line(
+        xx, yy, (0.60, 0.15), (0.58, 0.05), 0.02
+    )
+    return np.clip(body.astype(np.float64) + straps, 0, 1)
+
+
+def _motif_brassiere(xx, yy, rng) -> np.ndarray:
+    left = _ellipse(xx, yy, 0.38, 0.55, 0.14, 0.16)
+    right = _ellipse(xx, yy, 0.62, 0.55, 0.14, 0.16)
+    band = _line(xx, yy, (0.24, 0.52), (0.76, 0.52), 0.02)
+    strap_l = _line(xx, yy, (0.36, 0.40), (0.30, 0.15), 0.02)
+    strap_r = _line(xx, yy, (0.64, 0.40), (0.70, 0.15), 0.02)
+    return np.clip(left + right + band + strap_l + strap_r, 0, 1)
+
+
+def _motif_chain(xx, yy, rng) -> np.ndarray:
+    mask = np.zeros_like(xx)
+    for step in range(6):
+        t = step / 5.0
+        cx = 0.2 + 0.6 * t
+        cy = 0.25 + 0.5 * t
+        mask += _annulus(xx, yy, cx, cy, 0.085, 0.05)
+    return np.clip(mask, 0, 1)
+
+
+def _motif_handbag(xx, yy, rng) -> np.ndarray:
+    body = _rect(xx, yy, 0.25, 0.75, 0.42, 0.85)
+    flap = _rect(xx, yy, 0.25, 0.75, 0.42, 0.55) * 0.45
+    handle = _annulus(xx, yy, 0.5, 0.42, 0.20, 0.15) * (yy < 0.42)
+    clasp = _ellipse(xx, yy, 0.5, 0.56, 0.03, 0.03)
+    return np.clip(body - flap * 0.3 + handle + clasp, 0, 1)
+
+
+MOTIFS: Dict[str, MaskFn] = {
+    "sock": _motif_sock,
+    "running_shoe": _motif_running_shoe,
+    "jersey_tshirt": _motif_jersey_tshirt,
+    "analog_clock": _motif_analog_clock,
+    "sweatshirt": _motif_sweatshirt,
+    "jeans": _motif_jeans,
+    "sandal": _motif_sandal,
+    "sunglasses": _motif_sunglasses,
+    "maillot": _motif_maillot,
+    "brassiere": _motif_brassiere,
+    "chain": _motif_chain,
+    "handbag": _motif_handbag,
+}
+
+
+def category_texture(category_name: str, image_size: int) -> np.ndarray:
+    """Deterministic ±1 micro-texture pattern characteristic of a category.
+
+    Real CNNs are famously vulnerable at ε ≤ 16/255 because they latch on
+    to *non-robust* high-frequency features (Ilyas et al., 2019) — ResNet50
+    on product photos exploits fabric weave, print patterns and JPEG
+    texture, not object shape.  Pure geometric motifs lack such features:
+    a classifier trained on them develops large decision margins and the
+    paper's ε grid barely moves it (we measured targeted PGD needing
+    ε ≈ 32/255).  To preserve the attack-relevant property of the real
+    substrate, every category carries a faint characteristic texture
+    (think: knit pattern on socks, mesh on running shoes).  The texture is
+    a deterministic function of the category *name*, so it is identical
+    across datasets, seeds and image sizes' render calls.
+    """
+    digest = np.frombuffer(category_name.encode("utf-8"), dtype=np.uint8)
+    seed = int(digest.astype(np.uint64).sum() * 2_654_435_761 % (2 ** 31))
+    rng = np.random.default_rng(seed)
+    return rng.choice([-1.0, 1.0], size=(3, image_size, image_size))
+
+
+class ProductImageGenerator:
+    """Deterministic, per-item randomised renderer of category motifs.
+
+    Parameters
+    ----------
+    registry:
+        Category registry; every category name must have a motif.
+    image_size:
+        Square side in pixels (default 32, CPU-friendly).
+    seed:
+        Base seed; item ``i`` uses seed ``seed + i`` so any single image
+        can be regenerated independently of the rest.
+    noise_level:
+        Amplitude of the per-pixel random noise (item-specific, carries
+        no class information).
+    texture_level:
+        Amplitude of the category-characteristic micro-texture (see
+        :func:`category_texture`) — the "non-robust feature" knob that
+        calibrates how attackable the trained classifier is.  0 disables
+        it.
+    """
+
+    def __init__(
+        self,
+        registry: CategoryRegistry,
+        image_size: int = 32,
+        seed: int = 0,
+        noise_level: float = 0.04,
+        texture_level: float = 0.06,
+    ) -> None:
+        missing = [name for name in registry.names if name not in MOTIFS]
+        if missing:
+            raise ValueError(f"no motif registered for categories: {missing}")
+        if image_size < 8:
+            raise ValueError("image_size must be >= 8")
+        if not 0.0 <= noise_level < 0.5:
+            raise ValueError("noise_level must be in [0, 0.5)")
+        if not 0.0 <= texture_level < 0.5:
+            raise ValueError("texture_level must be in [0, 0.5)")
+        self.registry = registry
+        self.image_size = image_size
+        self.seed = seed
+        self.noise_level = noise_level
+        self.texture_level = texture_level
+        self._textures = {
+            name: category_texture(name, image_size) for name in registry.names
+        }
+
+    # ------------------------------------------------------------------ #
+    def render(self, category_name: str, item_seed: int) -> np.ndarray:
+        """Render one CHW float RGB image in [0, 1] for the given category."""
+        rng = np.random.default_rng(self.seed * 1_000_003 + item_seed)
+        size = self.image_size
+
+        # Per-item geometric jitter: shift and scale the coordinate grid.
+        scale = rng.uniform(0.85, 1.12)
+        dx = rng.uniform(-0.05, 0.05)
+        dy = rng.uniform(-0.05, 0.05)
+        axis = (np.arange(size) + 0.5) / size
+        yy, xx = np.meshgrid(axis, axis, indexing="ij")
+        xx = (xx - 0.5) / scale + 0.5 - dx
+        yy = (yy - 0.5) / scale + 0.5 - dy
+
+        mask = MOTIFS[category_name](xx, yy, rng)
+
+        # Per-item colouring: saturated foreground on a light background.
+        foreground = rng.uniform(0.25, 0.95, size=3)
+        foreground[rng.integers(0, 3)] = rng.uniform(0.0, 0.25)  # keep it saturated
+        background = rng.uniform(0.82, 0.97)
+
+        image = np.empty((3, size, size), dtype=np.float64)
+        for channel in range(3):
+            image[channel] = background * (1.0 - mask) + foreground[channel] * mask
+
+        if self.texture_level > 0:
+            image += self.texture_level * self._textures[category_name]
+        if self.noise_level > 0:
+            image += rng.normal(0.0, self.noise_level, size=image.shape)
+        return np.clip(image, 0.0, 1.0)
+
+    def render_category_batch(self, category_name: str, count: int, start_seed: int = 0) -> np.ndarray:
+        """Render ``count`` images of one category, shape (N, 3, H, W)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.stack(
+            [self.render(category_name, start_seed + idx) for idx in range(count)]
+        ) if count else np.zeros((0, 3, self.image_size, self.image_size))
+
+    def render_items(self, category_ids: np.ndarray) -> np.ndarray:
+        """Render one image per item given its category id; item index = seed."""
+        images = np.empty(
+            (len(category_ids), 3, self.image_size, self.image_size), dtype=np.float64
+        )
+        for item_idx, category_id in enumerate(category_ids):
+            name = self.registry[int(category_id)].name
+            images[item_idx] = self.render(name, item_idx)
+        return images

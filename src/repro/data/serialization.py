@@ -1,0 +1,85 @@
+"""Dataset persistence: save/load a full MultimediaDataset as one .npz.
+
+Rendering tens of thousands of images and sampling interactions is the
+slowest part of large-scale runs; persisting the assembled dataset lets
+benchmark sessions and notebooks reload it instantly.  The format is a
+single ``numpy.savez_compressed`` archive — no pickle, so files are
+portable across Python versions and safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+import numpy as np
+
+from .categories import CategoryRegistry
+from .datasets import MultimediaDataset
+from .interactions import ImplicitFeedback
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: MultimediaDataset, path: str) -> None:
+    """Write ``dataset`` to ``path`` as a compressed ``.npz`` archive."""
+    offsets = np.cumsum([0] + [len(items) for items in dataset.feedback.train_items])
+    flat_train = (
+        np.concatenate(dataset.feedback.train_items)
+        if dataset.feedback.num_train_interactions
+        else np.zeros(0, dtype=np.int64)
+    )
+    registry_spec = [
+        [category.name, category.popularity, category.semantic_group]
+        for category in dataset.registry
+    ]
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        name=np.array(dataset.name),
+        registry_json=np.array(json.dumps(registry_spec)),
+        item_categories=dataset.item_categories,
+        images=dataset.images,
+        train_offsets=offsets,
+        train_flat=flat_train,
+        test_items=dataset.feedback.test_items,
+    )
+
+
+def load_dataset(path: str) -> MultimediaDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no saved dataset at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        registry_spec = json.loads(str(archive["registry_json"]))
+        registry = CategoryRegistry(
+            tuple((name, float(pop), group) for name, pop, group in registry_spec)
+        )
+        offsets = archive["train_offsets"]
+        flat = archive["train_flat"]
+        train_items: List[np.ndarray] = [
+            flat[offsets[idx] : offsets[idx + 1]].astype(np.int64)
+            for idx in range(len(offsets) - 1)
+        ]
+        feedback = ImplicitFeedback(
+            num_users=len(train_items),
+            num_items=int(archive["item_categories"].shape[0]),
+            train_items=train_items,
+            test_items=archive["test_items"].astype(np.int64),
+        )
+        return MultimediaDataset(
+            name=str(archive["name"]),
+            registry=registry,
+            item_categories=archive["item_categories"].astype(np.int64),
+            images=archive["images"].astype(np.float64),
+            feedback=feedback,
+        )

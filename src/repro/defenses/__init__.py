@@ -1,0 +1,16 @@
+"""``repro.defenses`` — extractor-side defenses proposed in the paper's §VI."""
+
+from .adversarial_training import AdversarialTrainer, AdversarialTrainingConfig
+from .distillation import DistillationConfig, distill, soft_labels
+from .squeezing import FeatureSqueezer, median_smooth, reduce_bit_depth
+
+__all__ = [
+    "AdversarialTrainer",
+    "AdversarialTrainingConfig",
+    "distill",
+    "DistillationConfig",
+    "soft_labels",
+    "FeatureSqueezer",
+    "reduce_bit_depth",
+    "median_smooth",
+]

@@ -1,0 +1,117 @@
+"""Adversarial training for the feature extractor (paper §VI future work).
+
+The paper's conclusion proposes hardening the *feature extraction*
+against TAaMR with adversarial training: augment the classifier's
+training batches with adversarial examples generated on the fly (Madry
+et al., 2018).  This complements AMR, which defends the recommender's
+feature space but leaves the image classifier untouched — the gap TAaMR
+exploits.
+
+:class:`AdversarialTrainer` wraps the standard classifier trainer with a
+mixed clean/adversarial objective:
+
+    L = (1 − w) · L(x, y) + w · L(x_adv, y),  x_adv = PGD_ε(x, y)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..attacks.pgd import PGD
+from ..features.trainer import recalibrate_batchnorm
+from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy
+
+
+@dataclass
+class AdversarialTrainingConfig:
+    """Knobs of PGD-based adversarial training."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    epsilon: float = 8 / 255  # training-time perturbation budget
+    attack_steps: int = 5  # cheaper than eval-time PGD-10
+    adversarial_weight: float = 0.5  # w of the mixed objective
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if not 0.0 <= self.adversarial_weight <= 1.0:
+            raise ValueError("adversarial_weight must be in [0, 1]")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be on the [0, 1] pixel scale")
+        if self.attack_steps <= 0:
+            raise ValueError("attack_steps must be positive")
+
+
+class AdversarialTrainer:
+    """Train a TinyResNet on a mix of clean and PGD-adversarial batches."""
+
+    def __init__(
+        self, model: TinyResNet, config: Optional[AdversarialTrainingConfig] = None
+    ) -> None:
+        self.model = model
+        self.config = config or AdversarialTrainingConfig()
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> dict:
+        """Adversarially train; returns a history dict."""
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4 or labels.shape[0] != images.shape[0]:
+            raise ValueError("images must be NCHW with one label per image")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        optimizer = SGD(
+            self.model.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        attack = PGD(
+            self.model,
+            epsilon=config.epsilon,
+            num_steps=config.attack_steps,
+            batch_size=config.batch_size,
+            seed=config.seed,
+        )
+        history = {"loss": [], "clean_accuracy": [], "adversarial_accuracy": []}
+
+        num_samples = images.shape[0]
+        for _ in range(config.epochs):
+            order = rng.permutation(num_samples)
+            epoch_loss = 0.0
+            for start in range(0, num_samples, config.batch_size):
+                batch_idx = order[start : start + config.batch_size]
+                batch = images[batch_idx]
+                batch_labels = labels[batch_idx]
+
+                # Generate adversarial examples against the *current* model.
+                adversarial = attack.attack(batch, true_labels=batch_labels)
+
+                self.model.train()
+                optimizer.zero_grad()
+                loss_clean = cross_entropy(self.model(Tensor(batch)), batch_labels)
+                loss_adv = cross_entropy(
+                    self.model(Tensor(adversarial.adversarial_images)), batch_labels
+                )
+                w = config.adversarial_weight
+                loss = loss_clean * (1.0 - w) + loss_adv * w
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * batch_idx.size
+            history["loss"].append(epoch_loss / num_samples)
+
+        recalibrate_batchnorm(self.model, images, batch_size=max(config.batch_size, 128))
+        self.model.eval()
+        history["clean_accuracy"].append(accuracy(self.model.predict_proba(images), labels))
+        final_attack = attack.attack(images, true_labels=labels)
+        history["adversarial_accuracy"].append(
+            accuracy(self.model.predict_proba(final_attack.adversarial_images), labels)
+        )
+        return history

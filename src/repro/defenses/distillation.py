@@ -1,0 +1,137 @@
+"""Defensive distillation (Papernot et al., 2016) — paper §VI future work.
+
+Train a *teacher* at softmax temperature T, then train a *student* of
+the same architecture on the teacher's softened class probabilities (at
+the same T).  At deployment the student runs at T = 1, which flattens
+its loss surface and attenuates the input gradients FGSM/PGD rely on.
+
+Distillation is known to be a weak defense (Carlini & Wagner, 2017) —
+our ablation bench measures exactly how much TAaMR it deflects, which is
+the evaluation the paper's conclusion calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..features.trainer import recalibrate_batchnorm
+from ..nn import SGD, Tensor, TinyResNet, soft_cross_entropy
+from ..nn import functional as F
+from ..nn.tensor import no_grad
+
+
+@dataclass
+class DistillationConfig:
+    """Hyper-parameters of the two-stage distillation protocol."""
+
+    temperature: float = 10.0
+    epochs: int = 10
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+def soft_labels(
+    teacher: TinyResNet, images: np.ndarray, temperature: float, batch_size: int = 64
+) -> np.ndarray:
+    """Teacher's temperature-softened class probabilities."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    was_training = teacher.training
+    teacher.eval()
+    try:
+        chunks = []
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                logits = teacher(Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64)))
+                chunks.append(F.softmax(logits * (1.0 / temperature), axis=1).data)
+    finally:
+        if was_training:
+            teacher.train()
+    return np.concatenate(chunks, axis=0)
+
+
+def distill(
+    teacher: TinyResNet,
+    images: np.ndarray,
+    config: Optional[DistillationConfig] = None,
+    student_seed: int = 1,
+) -> Tuple[TinyResNet, list]:
+    """Train a distilled student from ``teacher``; returns (student, losses)."""
+    config = config or DistillationConfig()
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError("images must be NCHW")
+
+    targets = soft_labels(teacher, images, config.temperature, config.batch_size)
+
+    student = TinyResNet(
+        num_classes=teacher.num_classes,
+        widths=tuple(w for w in _infer_widths(teacher)),
+        blocks_per_stage=tuple(_infer_blocks(teacher)),
+        seed=student_seed,
+    )
+    optimizer = SGD(
+        student.parameters(),
+        lr=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    rng = np.random.default_rng(config.seed)
+    losses = []
+    num_samples = images.shape[0]
+    student.train()
+    for _ in range(config.epochs):
+        order = rng.permutation(num_samples)
+        epoch_loss = 0.0
+        for start in range(0, num_samples, config.batch_size):
+            batch_idx = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            logits = student(Tensor(images[batch_idx]))
+            # T² compensates the 1/T² gradient attenuation of the softened
+            # softmax (Hinton et al., 2015), keeping the effective learning
+            # rate independent of the distillation temperature.
+            loss = soft_cross_entropy(
+                logits, targets[batch_idx], temperature=config.temperature
+            ) * (config.temperature ** 2)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item() * batch_idx.size
+        losses.append(epoch_loss / num_samples)
+
+    recalibrate_batchnorm(student, images, batch_size=max(config.batch_size, 128))
+    student.eval()
+    return student, losses
+
+
+def _infer_widths(model: TinyResNet) -> list:
+    """Recover the stage widths of a TinyResNet from its blocks."""
+    widths = []
+    for block in model.blocks:
+        width = block.conv2.out_channels
+        if not widths or widths[-1] != width:
+            widths.append(width)
+    return widths or [model.feature_dim]
+
+
+def _infer_blocks(model: TinyResNet) -> list:
+    widths = _infer_widths(model)
+    counts = [0] * len(widths)
+    idx = 0
+    for block in model.blocks:
+        width = block.conv2.out_channels
+        if width != widths[idx]:
+            idx += 1
+        counts[idx] += 1
+    return counts

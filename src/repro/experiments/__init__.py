@@ -1,0 +1,34 @@
+"""``repro.experiments`` — reproducible experiment configs and table runners."""
+
+from .config import ExperimentConfig, men_config, women_config
+from .context import ExperimentContext, build_context, clear_context_registry
+from .records import OutcomeRecord, grid_to_records, load_records, save_records
+from .runner import (
+    AttackGrid,
+    clear_grid_cache,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_attack_grid,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "men_config",
+    "women_config",
+    "ExperimentContext",
+    "build_context",
+    "clear_context_registry",
+    "AttackGrid",
+    "run_attack_grid",
+    "clear_grid_cache",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "OutcomeRecord",
+    "grid_to_records",
+    "save_records",
+    "load_records",
+]

@@ -1,0 +1,99 @@
+"""Machine-readable experiment records (JSON export/import).
+
+Benchmarks print human-readable tables; this module additionally
+persists every attack-grid cell as structured JSON so results can be
+diffed across runs, plotted externally, or cited in EXPERIMENTS.md with
+a reproducible provenance trail (config hash + outcome rows).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+from ..core.pipeline import AttackOutcome
+from .config import ExperimentConfig
+from .runner import AttackGrid
+
+RECORD_VERSION = 1
+
+
+@dataclass
+class OutcomeRecord:
+    """One grid cell, flattened for serialisation."""
+
+    recommender: str
+    source: str
+    target: str
+    semantically_similar: bool
+    attack: str
+    epsilon_255: float
+    chr_source_before: float
+    chr_target_before: float
+    chr_source_after: float
+    success_rate: float
+    psnr: float
+    ssim: float
+    psm: float
+    num_attacked_items: int
+
+    @classmethod
+    def from_outcome(cls, recommender: str, outcome: AttackOutcome) -> "OutcomeRecord":
+        return cls(
+            recommender=recommender,
+            source=outcome.scenario.source,
+            target=outcome.scenario.target,
+            semantically_similar=outcome.scenario.semantically_similar,
+            attack=outcome.attack_name,
+            epsilon_255=outcome.epsilon_255,
+            chr_source_before=outcome.chr_source_before,
+            chr_target_before=outcome.chr_target_before,
+            chr_source_after=outcome.chr_source_after,
+            success_rate=outcome.success_rate,
+            psnr=outcome.visual.psnr,
+            ssim=outcome.visual.ssim,
+            psm=outcome.visual.psm,
+            num_attacked_items=int(outcome.attacked_item_ids.size),
+        )
+
+
+def grid_to_records(grid: AttackGrid) -> List[OutcomeRecord]:
+    """Flatten every outcome of one grid."""
+    return [
+        OutcomeRecord.from_outcome(grid.recommender_name, outcome)
+        for outcome in grid.outcomes
+    ]
+
+
+def save_records(
+    grids: List[AttackGrid], config: ExperimentConfig, path: str
+) -> None:
+    """Write grids + provenance to a JSON file."""
+    payload = {
+        "record_version": RECORD_VERSION,
+        "config_hash": config.cache_key(),
+        "dataset": config.dataset,
+        "scale": config.scale,
+        "seed": config.seed,
+        "cutoff": config.cutoff,
+        "outcomes": [asdict(rec) for grid in grids for rec in grid_to_records(grid)],
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_records(path: str) -> Dict:
+    """Load a records file; returns the raw payload with typed outcomes."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no records file at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("record_version")
+    if version != RECORD_VERSION:
+        raise ValueError(f"unsupported record version {version}")
+    payload["outcomes"] = [OutcomeRecord(**row) for row in payload["outcomes"]]
+    return payload

@@ -1,0 +1,19 @@
+"""``repro.features`` — classifier training and layer-e feature extraction."""
+
+from .extractor import FeatureExtractor
+from .trainer import (
+    recalibrate_batchnorm,
+    ClassifierConfig,
+    ClassifierTrainer,
+    TrainingReport,
+    train_catalog_classifier,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "ClassifierConfig",
+    "ClassifierTrainer",
+    "TrainingReport",
+    "train_catalog_classifier",
+    "recalibrate_batchnorm",
+]

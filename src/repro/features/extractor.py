@@ -1,0 +1,77 @@
+"""Feature extraction at the paper's layer ``e`` (Definition 2).
+
+Given a trained classifier ``F`` and an image ``x``, the item feature is
+``f^e(x)`` — the output of the global-average-pooling layer right after
+the convolutional stack (§IV-A5).  :class:`FeatureExtractor` wraps a
+:class:`TinyResNet` with caching and normalisation options, and is the
+single component shared by the recommender (clean features), the attack
+pipeline (re-extracting features of perturbed images) and the PSM visual
+metric (feature-space distance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import TinyResNet
+
+
+class FeatureExtractor:
+    """Layer-``e`` feature extraction with optional standardisation.
+
+    VBPR conventionally standardises CNN features before the linear
+    embedding; the extractor can learn mean/scale on the catalog
+    (``fit=True`` at first call) and then applies the *same* affine map
+    to perturbed images — an attacker-visible transformation under the
+    white-box threat model.
+    """
+
+    def __init__(
+        self,
+        model: TinyResNet,
+        standardize: bool = True,
+        batch_size: int = 64,
+    ) -> None:
+        self.model = model
+        self.standardize = standardize
+        self.batch_size = batch_size
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    @property
+    def feature_dim(self) -> int:
+        return self.model.feature_dim
+
+    @property
+    def is_fitted(self) -> bool:
+        return not self.standardize or self._mean is not None
+
+    def fit(self, images: np.ndarray) -> "FeatureExtractor":
+        """Learn standardisation statistics on the (clean) catalog."""
+        raw = self.model.extract_features(images, batch_size=self.batch_size)
+        if self.standardize:
+            self._mean = raw.mean(axis=0)
+            scale = raw.std(axis=0)
+            self._scale = np.where(scale > 1e-8, scale, 1.0)
+        return self
+
+    def transform(self, images: np.ndarray) -> np.ndarray:
+        """Extract features for NCHW images; applies fitted standardisation."""
+        raw = self.model.extract_features(images, batch_size=self.batch_size)
+        return self._apply_standardisation(raw)
+
+    def fit_transform(self, images: np.ndarray) -> np.ndarray:
+        return self.fit(images).transform(images)
+
+    def transform_raw_features(self, raw: np.ndarray) -> np.ndarray:
+        """Standardise features already extracted elsewhere (e.g. PSM reuse)."""
+        return self._apply_standardisation(np.asarray(raw, dtype=np.float64))
+
+    def _apply_standardisation(self, raw: np.ndarray) -> np.ndarray:
+        if not self.standardize:
+            return raw
+        if self._mean is None:
+            raise RuntimeError("FeatureExtractor.transform called before fit()")
+        return (raw - self._mean) / self._scale

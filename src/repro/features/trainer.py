@@ -1,0 +1,201 @@
+"""Training loop for the deep feature extractor (the paper's ``F``).
+
+The paper uses an ImageNet-pretrained ResNet50; we train
+:class:`~repro.nn.resnet.TinyResNet` on the synthetic catalog instead,
+which plays the same role: a high-accuracy classifier whose
+global-average-pooling activations become the item features consumed by
+VBPR/AMR, and whose gradients the adversary exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy, no_grad
+from ..nn.layers import BatchNorm2d, Module
+from ..nn.optim import CosineAnnealingLR
+
+
+def recalibrate_batchnorm(model: Module, images: np.ndarray, batch_size: int = 256) -> None:
+    """Reset BatchNorm running statistics to the dataset statistics.
+
+    With few, small training batches the default exponential running
+    averages lag far behind the batch statistics used in training mode,
+    which tanks eval-mode accuracy.  This pass recomputes the running
+    mean/var as the average over full-dataset batches (momentum-free),
+    the standard "BN recalibration" trick.
+    """
+    bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bn_layers:
+        return
+    sums = [np.zeros(bn.num_features) for bn in bn_layers]
+    square_sums = [np.zeros(bn.num_features) for bn in bn_layers]
+    batch_count = 0
+    original_momentum = [bn.momentum for bn in bn_layers]
+    model.train()
+    try:
+        with no_grad():
+            for start in range(0, images.shape[0], batch_size):
+                batch = Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64))
+                for bn in bn_layers:
+                    bn.momentum = 1.0  # running stats := this batch's stats
+                model(batch)
+                batch_count += 1
+                for idx, bn in enumerate(bn_layers):
+                    sums[idx] += bn.running_mean
+                    square_sums[idx] += bn.running_var
+    finally:
+        for bn, momentum in zip(bn_layers, original_momentum):
+            bn.momentum = momentum
+        model.eval()
+    for idx, bn in enumerate(bn_layers):
+        bn.running_mean = sums[idx] / batch_count
+        bn.running_var = square_sums[idx] / batch_count
+
+
+@dataclass
+class TrainingReport:
+    """Per-epoch training history plus final evaluation numbers."""
+
+    train_losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    final_train_accuracy: float = 0.0
+    final_eval_accuracy: float = 0.0
+    epochs_run: int = 0
+
+
+@dataclass
+class ClassifierConfig:
+    """Hyper-parameters of the classifier training run."""
+
+    epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    target_accuracy: float = 0.995  # early stop once the classifier is solved
+    cosine_schedule: bool = True
+    label_smoothing: float = 0.0
+    augment: bool = False  # apply repro.data.augment.default_augmentation
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if not 0.0 < self.target_accuracy <= 1.0:
+            raise ValueError("target_accuracy must be in (0, 1]")
+
+
+class ClassifierTrainer:
+    """Mini-batch SGD trainer for :class:`TinyResNet`."""
+
+    def __init__(self, model: TinyResNet, config: Optional[ClassifierConfig] = None) -> None:
+        self.model = model
+        self.config = config or ClassifierConfig()
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        eval_images: Optional[np.ndarray] = None,
+        eval_labels: Optional[np.ndarray] = None,
+    ) -> TrainingReport:
+        """Train on ``(images, labels)``; optionally evaluate on a held-out set."""
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError("images must be NCHW")
+        if labels.shape[0] != images.shape[0]:
+            raise ValueError("images/labels length mismatch")
+        if labels.size and labels.max() >= self.model.num_classes:
+            raise ValueError("label exceeds model num_classes")
+
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        optimizer = SGD(
+            self.model.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        scheduler = (
+            CosineAnnealingLR(optimizer, t_max=config.epochs) if config.cosine_schedule else None
+        )
+
+        augmentation = None
+        if config.augment:
+            from ..data.augment import default_augmentation
+
+            augmentation = default_augmentation(seed=config.seed)
+
+        report = TrainingReport()
+        num_samples = images.shape[0]
+        self.model.train()
+        for epoch in range(config.epochs):
+            order = rng.permutation(num_samples)
+            epoch_loss = 0.0
+            epoch_correct = 0
+            for start in range(0, num_samples, config.batch_size):
+                batch_idx = order[start : start + config.batch_size]
+                batch_images = images[batch_idx]
+                if augmentation is not None:
+                    batch_images = augmentation(batch_images)
+                batch = Tensor(batch_images)
+                batch_labels = labels[batch_idx]
+                optimizer.zero_grad()
+                logits = self.model(batch)
+                loss = cross_entropy(
+                    logits, batch_labels, label_smoothing=config.label_smoothing
+                )
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * batch_idx.size
+                epoch_correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
+
+            train_accuracy = epoch_correct / num_samples
+            report.train_losses.append(epoch_loss / num_samples)
+            report.train_accuracies.append(train_accuracy)
+            report.epochs_run = epoch + 1
+            if scheduler is not None:
+                scheduler.step()
+            if train_accuracy >= config.target_accuracy:
+                break
+
+        recalibrate_batchnorm(self.model, images, batch_size=max(config.batch_size, 128))
+        self.model.eval()
+        report.final_train_accuracy = accuracy(
+            self.model.predict_proba(images), labels
+        )
+        if eval_images is not None and eval_labels is not None:
+            report.final_eval_accuracy = accuracy(
+                self.model.predict_proba(np.asarray(eval_images, dtype=np.float64)),
+                np.asarray(eval_labels, dtype=np.int64),
+            )
+        return report
+
+
+def train_catalog_classifier(
+    images: np.ndarray,
+    item_categories: np.ndarray,
+    num_classes: int,
+    widths=(16, 32, 64),
+    blocks_per_stage=(1, 1, 1),
+    config: Optional[ClassifierConfig] = None,
+) -> tuple:
+    """Convenience: build a TinyResNet and fit it on the item catalog.
+
+    Returns ``(model, report)``.
+    """
+    config = config or ClassifierConfig()
+    model = TinyResNet(
+        num_classes=num_classes,
+        widths=widths,
+        blocks_per_stage=blocks_per_stage,
+        seed=config.seed,
+    )
+    trainer = ClassifierTrainer(model, config)
+    report = trainer.fit(images, item_categories)
+    return model, report

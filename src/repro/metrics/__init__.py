@@ -1,0 +1,15 @@
+"""``repro.metrics`` — visual quality metrics of Table IV (PSNR, SSIM, PSM)."""
+
+from .psm import PerceptualSimilarity, psm_from_features
+from .psnr import batch_psnr, mse, psnr
+from .ssim import batch_ssim, ssim
+
+__all__ = [
+    "mse",
+    "psnr",
+    "batch_psnr",
+    "ssim",
+    "batch_ssim",
+    "PerceptualSimilarity",
+    "psm_from_features",
+]

@@ -1,0 +1,57 @@
+"""PSM — Perceptual Similarity Metric (paper eq. 13).
+
+The feature-reconstruction loss of Johnson et al. (2016), adapted as in
+the paper: (i) the pre-trained CNN is the *recommender's own extractor*
+rather than VGG, and (ii) the compared layer is the same layer ``e``
+whose features feed the recommender.  With ``f^e`` of dimension
+``He × We × Ce`` (here the GAP output, so He = We = 1, Ce = D)::
+
+    PSM(x, x*) = ‖f^e(x) − f^e(x*)‖² / (He·We·Ce)
+
+Lower is better (0 = identical semantic content).  Unlike PSNR/SSIM this
+metric *increases* sharply for successful attacks — the perturbation is
+designed to move layer-e features — which is exactly the inversion the
+paper observes between FGSM and PGD in Table IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import TinyResNet
+
+
+def psm_from_features(features_x: np.ndarray, features_y: np.ndarray) -> np.ndarray:
+    """PSM per pair given already-extracted layer-e features (N, D)."""
+    features_x = np.asarray(features_x, dtype=np.float64)
+    features_y = np.asarray(features_y, dtype=np.float64)
+    if features_x.shape != features_y.shape:
+        raise ValueError("feature matrices must have identical shapes")
+    if features_x.ndim != 2:
+        raise ValueError("expected (N, D) feature matrices")
+    dim = features_x.shape[1]
+    return ((features_x - features_y) ** 2).sum(axis=1) / dim
+
+
+class PerceptualSimilarity:
+    """PSM evaluator bound to a trained extractor network."""
+
+    def __init__(self, model: TinyResNet, batch_size: int = 64) -> None:
+        self.model = model
+        self.batch_size = batch_size
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-image PSM between two NCHW batches."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape:
+            raise ValueError("batches must have identical shapes")
+        if x.ndim != 4:
+            raise ValueError("expected NCHW batches")
+        feats_x = self.model.extract_features(x, batch_size=self.batch_size)
+        feats_y = self.model.extract_features(y, batch_size=self.batch_size)
+        return psm_from_features(feats_x, feats_y)
+
+    def single(self, x: np.ndarray, y: np.ndarray) -> float:
+        """PSM between two CHW images."""
+        return float(self(x[None], y[None])[0])

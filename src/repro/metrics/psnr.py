@@ -1,0 +1,43 @@
+"""PSNR — Peak Signal-to-Noise Ratio (paper eq. 11).
+
+``PSNR(x, x*) = 10 log10(P² / MSE(x, x*))`` with ``P`` the maximum pixel
+value.  Our images live in [0, 1] so ``P = 1``; the paper's 8-bit values
+(P = 255) give identical dB numbers because PSNR is scale invariant.
+Higher is better; 20–50 dB is the typical range the paper cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(x: np.ndarray, y: np.ndarray) -> float:
+    """Mean squared error between two images (any matching shape)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("images must have identical shapes")
+    return float(np.mean((x - y) ** 2))
+
+
+def psnr(x: np.ndarray, y: np.ndarray, peak: float = 1.0) -> float:
+    """PSNR in dB; ``inf`` for identical images."""
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    error = mse(x, y)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(peak ** 2 / error))
+
+
+def batch_psnr(x: np.ndarray, y: np.ndarray, peak: float = 1.0) -> np.ndarray:
+    """Per-image PSNR over NCHW batches."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("batches must have identical shapes")
+    if x.ndim != 4:
+        raise ValueError("expected NCHW batches")
+    errors = ((x - y) ** 2).reshape(x.shape[0], -1).mean(axis=1)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(peak ** 2 / errors)

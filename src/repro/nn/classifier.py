@@ -1,0 +1,86 @@
+"""Shared image-classifier interface (feature head + prediction API).
+
+Both CNN architectures in the reproduction — :class:`TinyResNet` (the
+ResNet50 stand-in) and :class:`SimpleCNN` (a VGG-style surrogate for the
+transferability study) — expose the same contract:
+
+* ``features(x)``  — the paper's layer-``e`` activations (GAP output);
+* ``forward(x)``   — classifier logits ``F(x)``;
+* ``predict`` / ``predict_proba`` / ``extract_features`` — batched,
+  eval-mode numpy conveniences used by attacks, extractors and metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Module
+from .tensor import Tensor, no_grad
+
+
+class ImageClassifier(Module):
+    """Base class wiring a conv trunk + GAP + linear head into one API.
+
+    Subclasses must set ``num_classes`` and ``feature_dim`` attributes,
+    implement :meth:`_trunk` (NCHW → NCHW conv stack) and provide a
+    ``fc`` linear head mapping ``feature_dim`` → ``num_classes``.
+    """
+
+    num_classes: int
+    feature_dim: int
+
+    def _trunk(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def features(self, x: Tensor) -> Tensor:
+        """The paper's ``f^e(x)``: GAP output right after the conv stack."""
+        if x.ndim != 4:
+            raise ValueError(f"{type(self).__name__} expects NCHW input")
+        return F.global_avg_pool2d(self._trunk(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Classifier logits ``F(x)`` of shape ``(N, num_classes)``."""
+        return self.fc(self.features(x))
+
+    def forward_with_features(self, x: Tensor) -> tuple:
+        """Return ``(logits, features)`` sharing one trunk pass."""
+        feats = self.features(x)
+        return self.fc(feats), feats
+
+    # ------------------------------------------------------------------ #
+    # Batched eval-mode numpy conveniences
+    # ------------------------------------------------------------------ #
+    def predict(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Predicted class indices for a batch of NCHW images (eval mode)."""
+        return self.predict_proba(images, batch_size=batch_size).argmax(axis=1)
+
+    def predict_proba(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Softmax class probabilities for NCHW images (eval mode)."""
+        was_training = self.training
+        self.eval()
+        try:
+            chunks = []
+            with no_grad():
+                for start in range(0, images.shape[0], batch_size):
+                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64))
+                    chunks.append(F.softmax(self.forward(batch), axis=1).data)
+        finally:
+            if was_training:
+                self.train()
+        return np.concatenate(chunks, axis=0) if chunks else np.zeros((0, self.num_classes))
+
+    def extract_features(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Layer-``e`` features for NCHW images (eval mode, no grad)."""
+        was_training = self.training
+        self.eval()
+        try:
+            chunks = []
+            with no_grad():
+                for start in range(0, images.shape[0], batch_size):
+                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64))
+                    chunks.append(self.features(batch).data)
+        finally:
+            if was_training:
+                self.train()
+        return np.concatenate(chunks, axis=0) if chunks else np.zeros((0, self.feature_dim))

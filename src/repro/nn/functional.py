@@ -1,0 +1,230 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+Contains the convolution / pooling primitives (implemented with an
+im2col/col2im lowering for speed on CPU) plus softmax-family ops used by
+the classifier and by the attack objectives.
+
+All spatial operations use the NCHW layout, matching the convention of
+the image substrate (:mod:`repro.data.images`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+# --------------------------------------------------------------------- #
+# im2col / col2im lowering
+# --------------------------------------------------------------------- #
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower NCHW image patches into a 2-D matrix of flattened windows.
+
+    Returns a matrix of shape ``(N * H_out * W_out, C * kernel * kernel)``
+    and the output spatial size ``(H_out, W_out)``.
+    """
+    n, c, h, w = images.shape
+    h_out = _out_size(h, kernel, stride, pad)
+    w_out = _out_size(w, kernel, stride, pad)
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError(
+            f"im2col: kernel {kernel} / stride {stride} / pad {pad} too large "
+            f"for spatial size {(h, w)}"
+        )
+    if pad > 0:
+        images = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, c, h_out, w_out, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, H_out, W_out, C, K, K) -> rows indexed by (n, y, x)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * h_out * w_out, -1)
+    return np.ascontiguousarray(cols), (h_out, w_out)
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to NCHW image gradients.
+
+    Inverse (adjoint) of :func:`im2col`: overlapping windows accumulate.
+    """
+    n, c, h, w = image_shape
+    h_out = _out_size(h, kernel, stride, pad)
+    w_out = _out_size(w, kernel, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, h_out, w_out, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for ky in range(kernel):
+        y_end = ky + stride * h_out
+        for kx in range(kernel):
+            x_end = kx + stride * w_out
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols6[:, :, :, :, ky, kx]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+# --------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------- #
+
+
+def conv2d(
+    images: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) on an NCHW tensor.
+
+    ``weight`` has shape ``(C_out, C_in, K, K)``; ``bias`` shape ``(C_out,)``.
+    """
+    if images.ndim != 4:
+        raise ValueError(f"conv2d expects NCHW input, got ndim={images.ndim}")
+    c_out, c_in, kernel, kernel2 = weight.shape
+    if kernel != kernel2:
+        raise ValueError("conv2d supports square kernels only")
+    if images.shape[1] != c_in:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {images.shape[1]}, weight expects {c_in}"
+        )
+
+    n = images.shape[0]
+    cols, (h_out, w_out) = im2col(images.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*K*K)
+    out_mat = cols @ w_mat.T  # (N*H_out*W_out, C_out)
+    if bias is not None:
+        out_mat = out_mat + bias.data
+    out_data = out_mat.reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
+
+    image_shape = images.shape
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if weight.requires_grad:
+            gw = grad_mat.T @ cols
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=0))
+        if images.requires_grad:
+            gcols = grad_mat @ w_mat
+            images._accumulate(col2im(gcols, image_shape, kernel, stride, padding))
+
+    parents = (images, weight) if bias is None else (images, weight, bias)
+    return Tensor._make(out_data, parents, backward)
+
+
+# --------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------- #
+
+
+def max_pool2d(images: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows, NCHW."""
+    stride = stride if stride is not None else kernel
+    n, c, h, w = images.shape
+    h_out = _out_size(h, kernel, stride, 0)
+    w_out = _out_size(w, kernel, stride, 0)
+
+    cols, _ = im2col(
+        images.data.reshape(n * c, 1, h, w), kernel, stride, pad=0
+    )  # (N*C*H_out*W_out, K*K)
+    arg = cols.argmax(axis=1)
+    out_flat = cols[np.arange(cols.shape[0]), arg]
+    out_data = out_flat.reshape(n, c, h_out, w_out)
+
+    def backward(grad: np.ndarray) -> None:
+        if not images.requires_grad:
+            return
+        gcols = np.zeros_like(cols)
+        gcols[np.arange(cols.shape[0]), arg] = grad.reshape(-1)
+        gimg = col2im(gcols, (n * c, 1, h, w), kernel, stride, pad=0)
+        images._accumulate(gimg.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (images,), backward)
+
+
+def avg_pool2d(images: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over windows, NCHW."""
+    stride = stride if stride is not None else kernel
+    n, c, h, w = images.shape
+    h_out = _out_size(h, kernel, stride, 0)
+    w_out = _out_size(w, kernel, stride, 0)
+
+    cols, _ = im2col(images.data.reshape(n * c, 1, h, w), kernel, stride, pad=0)
+    out_data = cols.mean(axis=1).reshape(n, c, h_out, w_out)
+    window = kernel * kernel
+
+    def backward(grad: np.ndarray) -> None:
+        if not images.requires_grad:
+            return
+        gcols = np.repeat(grad.reshape(-1, 1), window, axis=1) / window
+        gimg = col2im(gcols, (n * c, 1, h, w), kernel, stride, pad=0)
+        images._accumulate(gimg.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (images,), backward)
+
+
+def global_avg_pool2d(images: Tensor) -> Tensor:
+    """Global average pooling: NCHW → NC.
+
+    This is the paper's feature layer ``e`` — "the output of the global
+    average pooling right after the convolutional part" (§IV-A5) — the
+    layer whose activations feed the multimedia recommender.
+    """
+    return images.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------- #
+# Softmax family
+# --------------------------------------------------------------------- #
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted_max = logits.data.max(axis=axis, keepdims=True)
+    shifted = logits - Tensor(shifted_max)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels → one-hot float matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("one_hot expects a 1-D label vector")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

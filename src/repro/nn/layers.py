@@ -1,0 +1,328 @@
+"""Layer / module abstractions for the numpy CNN substrate.
+
+Mirrors a minimal slice of the ``torch.nn`` API surface (``Module``,
+``parameters()``, ``train()``/``eval()``, ``Sequential`` …) so that the
+classifier, trainer, attacks and defenses compose the same way the
+paper's PyTorch code would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable :class:`Tensor` (always requires grad)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes;
+    :meth:`parameters` and :meth:`named_parameters` discover them
+    recursively, and :meth:`state_dict` / :meth:`load_state_dict` provide
+    serialization hooks used by :mod:`repro.nn.serialization`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- discovery ------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for idx, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{idx}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{idx}", item
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    # -- mode ------------------------------------------------------------ #
+    def train(self) -> "Module":
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state ------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All parameters plus persistent buffers, keyed by dotted path."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update(self._named_buffers())
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self._named_buffer_refs())
+        for key, value in state.items():
+            if key in own_params:
+                target = own_params[key]
+                if target.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for '{key}': {target.data.shape} vs {value.shape}"
+                    )
+                target.data = np.array(value, dtype=target.data.dtype, copy=True)
+            elif key in own_buffers:
+                module, attr = own_buffers[key]
+                current = getattr(module, attr)
+                if current.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for buffer '{key}': {current.shape} vs {value.shape}"
+                    )
+                setattr(module, attr, np.array(value, copy=True))
+            else:
+                raise KeyError(f"unexpected key in state dict: '{key}'")
+
+    def _named_buffers(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        buffers: Dict[str, np.ndarray] = {}
+        for name, (module, attr) in self._named_buffer_refs(prefix).items():
+            buffers[name] = np.array(getattr(module, attr), copy=True)
+        return buffers
+
+    def _named_buffer_refs(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
+        refs: Dict[str, Tuple[Module, str]] = {}
+        for attr in getattr(self, "_buffer_names", ()):  # declared by subclasses
+            refs[f"{prefix}{attr}"] = (self, attr)
+        for attr, value in vars(self).items():
+            if isinstance(value, Module):
+                refs.update(value._named_buffer_refs(prefix=f"{prefix}{attr}."))
+            elif isinstance(value, (list, tuple)):
+                for idx, item in enumerate(value):
+                    if isinstance(item, Module):
+                        refs.update(item._named_buffer_refs(prefix=f"{prefix}{attr}.{idx}."))
+        return refs
+
+    # -- call -------------------------------------------------------------- #
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Initialization helpers
+# --------------------------------------------------------------------- #
+
+
+def kaiming_normal(shape: Sequence[int], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation suited to ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.standard_normal(shape) * std
+
+
+# --------------------------------------------------------------------- #
+# Concrete layers
+# --------------------------------------------------------------------- #
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_normal((out_features, in_features), in_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """Square-kernel 2-D convolution over NCHW input."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel axis of NCHW tensors.
+
+    Keeps running statistics for evaluation mode — critical here because
+    adversarial attacks run the classifier in ``eval()`` mode, exactly as
+    an adversary attacking a deployed extractor would.
+    """
+
+    _buffer_names = ("running_mean", "running_var")
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("BatchNorm2d expects NCHW input")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
+            )
+            normalised = (x - mean) / (var + self.eps) ** 0.5
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            normalised = (x - mean) / (var + self.eps) ** 0.5
+        scale = self.weight.reshape(1, self.num_features, 1, 1)
+        shift = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalised * scale + shift
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_from(axis=1)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """The paper's feature layer ``e`` (§IV-A5)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,92 @@
+"""Loss functions for classifier training and attack objectives.
+
+The attacks in the paper optimise the classifier's cross-entropy loss
+``L_F(θ, x, t)`` with respect to the *input* ``x`` (eq. 5); the same loss
+trains the classifier with respect to θ.  Both uses share the
+implementations below — only which tensor carries ``requires_grad``
+differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    label_smoothing: float = 0.0,
+    temperature: float = 1.0,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(N, C)``.
+    labels:
+        Integer vector of length ``N``.
+    label_smoothing:
+        Standard label smoothing in [0, 1).
+    temperature:
+        Softmax temperature; values > 1 are used by defensive
+        distillation (:mod:`repro.defenses.distillation`).
+    """
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits (N, C)")
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels must be a 1-D vector matching the batch size")
+    if not 0.0 <= label_smoothing < 1.0:
+        raise ValueError("label_smoothing must be in [0, 1)")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+
+    num_classes = logits.shape[1]
+    targets = F.one_hot(labels, num_classes)
+    if label_smoothing > 0.0:
+        targets = targets * (1.0 - label_smoothing) + label_smoothing / num_classes
+
+    scaled = logits * (1.0 / temperature) if temperature != 1.0 else logits
+    log_probs = F.log_softmax(scaled, axis=1)
+    return -(log_probs * Tensor(targets)).sum() * (1.0 / logits.shape[0])
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray, temperature: float = 1.0) -> Tensor:
+    """Cross-entropy against a full probability distribution per sample.
+
+    Used by defensive distillation, where the student is trained on the
+    teacher's softened output distribution.
+    """
+    if logits.shape != tuple(np.asarray(target_probs).shape):
+        raise ValueError("logits and target_probs must have identical shapes")
+    scaled = logits * (1.0 / temperature) if temperature != 1.0 else logits
+    log_probs = F.log_softmax(scaled, axis=1)
+    return -(log_probs * Tensor(np.asarray(target_probs, dtype=np.float64))).sum() * (
+        1.0 / logits.shape[0]
+    )
+
+
+def nll_from_log_probs(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood given precomputed log-probabilities."""
+    labels = np.asarray(labels, dtype=np.int64)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def mse(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def accuracy(logits_or_probs: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy (plain numpy, not differentiable)."""
+    logits_or_probs = np.asarray(logits_or_probs)
+    labels = np.asarray(labels)
+    if logits_or_probs.shape[0] == 0:
+        return 0.0
+    return float((logits_or_probs.argmax(axis=1) == labels).mean())

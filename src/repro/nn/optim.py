@@ -1,0 +1,181 @@
+"""Optimizers and learning-rate schedules for the numpy substrate.
+
+``SGD`` (with momentum and decoupled weight decay) trains the classifier
+in the benchmarks; ``Adam`` is available for faster convergence in tests
+and examples.  Schedulers implement the step/cosine policies used by the
+classifier trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of :class:`Parameter` objects."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.lr = float(state["lr"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRScheduler:
+    """Base learning-rate schedule attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + np.cos(np.pi * progress))
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Clip the global l2 gradient norm in place; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for grad in grads:
+        total += float((grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return norm

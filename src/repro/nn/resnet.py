@@ -1,0 +1,117 @@
+"""Residual CNN classifier — the reproduction's stand-in for ResNet50.
+
+The paper extracts item features at layer ``e``, "the output of the
+global average pooling right after the convolutional part" of a
+ResNet50 (§IV-A5).  Offline and on CPU we cannot run ResNet50, so
+:class:`TinyResNet` keeps what matters to the experiments:
+
+* residual topology (identity shortcuts with projection on downsampling),
+* batch-norm + ReLU ordering of the original ResNet,
+* a global-average-pooling feature head feeding a linear classifier —
+  so ``features(x)`` is exactly the paper's ``f^e(x)`` and the classifier
+  logits are ``F(x)``.
+
+Depth and width are configurable; the defaults are sized for 32×32 CPU
+training while remaining a genuinely deep, attackable network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .classifier import ImageClassifier
+from .layers import BatchNorm2d, Conv2d, Linear, Module
+from .tensor import Tensor
+
+
+class ResidualBlock(Module):
+    """Two 3×3 conv/BN pairs with an identity (or projected) shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut_conv: Optional[Conv2d] = Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+            self.shortcut_bn: Optional[BatchNorm2d] = BatchNorm2d(out_channels)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+        else:
+            shortcut = x
+        return (out + shortcut).relu()
+
+
+class TinyResNet(ImageClassifier):
+    """Residual image classifier with a GAP feature head.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of product categories.
+    in_channels:
+        Image channels (3 for the RGB product images).
+    widths:
+        Channel width of each stage; the last entry is the feature
+        dimension ``D`` consumed by VBPR/AMR.
+    blocks_per_stage:
+        Residual blocks in each stage.  Stages after the first downsample
+        spatially by 2.
+    seed:
+        Seed for weight initialisation, making classifiers reproducible.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        in_channels: int = 3,
+        widths: Sequence[int] = (16, 32, 64),
+        blocks_per_stage: Sequence[int] = (1, 1, 1),
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if len(widths) != len(blocks_per_stage):
+            raise ValueError("widths and blocks_per_stage must have equal length")
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.feature_dim = int(widths[-1])
+
+        self.stem_conv = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+
+        blocks: List[ResidualBlock] = []
+        prev = widths[0]
+        for stage, (width, depth) in enumerate(zip(widths, blocks_per_stage)):
+            for block_idx in range(depth):
+                stride = 2 if stage > 0 and block_idx == 0 else 1
+                blocks.append(ResidualBlock(prev, width, stride=stride, rng=rng))
+                prev = width
+        self.blocks = blocks
+        self.fc = Linear(self.feature_dim, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def _trunk(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem_conv(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return out

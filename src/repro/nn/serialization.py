@@ -1,0 +1,40 @@
+"""Model weight persistence via ``numpy.savez``.
+
+Benchmarks train a classifier once and reuse it across tables; tests
+exercise save/load round-trips.  The format is a plain ``.npz`` archive
+of the module's ``state_dict`` — no pickle of code objects, so files are
+portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write ``module.state_dict()`` to ``path`` as an ``.npz`` archive."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load an ``.npz`` archive produced by :func:`save_state` into ``module``."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no saved state at {path}")
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+
+
+def state_allclose(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], atol: float = 1e-12) -> bool:
+    """True when two state dicts contain identical keys and close values."""
+    if set(a) != set(b):
+        return False
+    return all(np.allclose(a[key], b[key], atol=atol) for key in a)

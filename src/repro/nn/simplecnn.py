@@ -1,0 +1,84 @@
+"""SimpleCNN — a VGG-style plain convolutional classifier.
+
+An *architecturally different* counterpart to :class:`TinyResNet`: no
+residual connections, max-pool downsampling instead of strided
+convolutions.  Its role in the reproduction is the transferability
+study (``benchmarks/bench_transferability.py``): adversarial examples
+crafted on one architecture and evaluated on another probe how much the
+paper's white-box assumption (§III-B) is doing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .classifier import ImageClassifier
+from .layers import BatchNorm2d, Conv2d, Linear
+from .tensor import Tensor
+
+
+class SimpleCNN(ImageClassifier):
+    """Plain conv-BN-ReLU stages with max-pool downsampling and a GAP head.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of product categories.
+    in_channels:
+        Image channels.
+    widths:
+        Channel width per stage; each stage is ``convs_per_stage``
+        conv-BN-ReLU layers followed by a 2×2 max-pool (except the last
+        stage, which feeds global average pooling directly).
+    convs_per_stage:
+        Convolutions in each stage.
+    seed:
+        Weight initialisation seed.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        in_channels: int = 3,
+        widths: Sequence[int] = (16, 32, 64),
+        convs_per_stage: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if convs_per_stage <= 0:
+            raise ValueError("convs_per_stage must be positive")
+        if not widths:
+            raise ValueError("widths must be non-empty")
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.feature_dim = int(widths[-1])
+        self.num_stages = len(widths)
+
+        convs: List[Conv2d] = []
+        norms: List[BatchNorm2d] = []
+        prev = in_channels
+        for width in widths:
+            for _ in range(convs_per_stage):
+                convs.append(Conv2d(prev, width, 3, padding=1, bias=False, rng=rng))
+                norms.append(BatchNorm2d(width))
+                prev = width
+        self.convs = convs
+        self.norms = norms
+        self.convs_per_stage = convs_per_stage
+        self.fc = Linear(self.feature_dim, num_classes, rng=rng)
+
+    def _trunk(self, x: Tensor) -> Tensor:
+        out = x
+        layer = 0
+        for stage in range(self.num_stages):
+            for _ in range(self.convs_per_stage):
+                out = self.norms[layer](self.convs[layer](out)).relu()
+                layer += 1
+            if stage < self.num_stages - 1:
+                out = F.max_pool2d(out, 2)
+        return out

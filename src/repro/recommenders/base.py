@@ -1,0 +1,116 @@
+"""Shared recommender machinery: BPR triplet sampling and the base API.
+
+All models in the paper (BPR-MF, VBPR, AMR) optimise the pairwise BPR
+objective (eq. 7) over triplets ``(u, i, j)`` with ``i ∈ I_u^+`` and
+``j ∈ I_u^-``.  The sampler and the abstract interface live here so the
+three models differ only in their preference predictor and update rule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..data.interactions import ImplicitFeedback
+
+
+class BPRTripletSampler:
+    """Uniform BPR triplet sampler with rejection for positives.
+
+    Samples ``(user, positive, negative)`` triplets: a random training
+    interaction, plus a negative drawn uniformly from items the user has
+    not interacted with.
+    """
+
+    def __init__(self, feedback: ImplicitFeedback, seed: int = 0) -> None:
+        if feedback.num_train_interactions == 0:
+            raise ValueError("cannot sample triplets from empty feedback")
+        self.feedback = feedback
+        self._rng = np.random.default_rng(seed)
+        # Flatten (user, item) training pairs for O(1) uniform sampling.
+        users: List[int] = []
+        items: List[int] = []
+        for user, user_items in enumerate(feedback.train_items):
+            users.extend([user] * len(user_items))
+            items.extend(user_items.tolist())
+        self._pair_users = np.array(users, dtype=np.int64)
+        self._pair_items = np.array(items, dtype=np.int64)
+        self._positive_sets: List[Set[int]] = feedback.positive_sets()
+
+    def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return arrays ``(users, positives, negatives)`` of length ``batch_size``."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        picks = self._rng.integers(0, self._pair_users.shape[0], size=batch_size)
+        users = self._pair_users[picks]
+        positives = self._pair_items[picks]
+        negatives = self._rng.integers(0, self.feedback.num_items, size=batch_size)
+        for idx in range(batch_size):
+            positives_of_user = self._positive_sets[users[idx]]
+            if len(positives_of_user) >= self.feedback.num_items:
+                continue  # degenerate user who interacted with everything
+            while negatives[idx] in positives_of_user:
+                negatives[idx] = self._rng.integers(0, self.feedback.num_items)
+        return users, positives, negatives
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class Recommender(ABC):
+    """Abstract top-N recommender over a fixed user/item universe."""
+
+    def __init__(self, num_users: int, num_items: int) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = num_users
+        self.num_items = num_items
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @abstractmethod
+    def fit(self, feedback: ImplicitFeedback) -> "Recommender":
+        """Train the model on implicit feedback."""
+
+    @abstractmethod
+    def score_all(self) -> np.ndarray:
+        """Predicted preference matrix of shape ``(num_users, num_items)``."""
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")
+
+    def top_n(
+        self,
+        n: int,
+        feedback: Optional[ImplicitFeedback] = None,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Top-``n`` recommended items per user, best first.
+
+        Training positives are excluded when ``feedback`` is provided —
+        the paper evaluates recommendation lists of *unknown* items
+        (``i ∈ I ∖ I_u^+`` in Definition 5).
+        """
+        self._require_fitted()
+        if n <= 0:
+            raise ValueError("n must be positive")
+        score_matrix = np.array(self.score_all() if scores is None else scores, copy=True)
+        if score_matrix.shape != (self.num_users, self.num_items):
+            raise ValueError("scores have wrong shape")
+        if feedback is not None:
+            for user, items in enumerate(feedback.train_items):
+                score_matrix[user, items] = -np.inf
+        n = min(n, self.num_items)
+        # argpartition + sort of the head: O(I + n log n) per user.
+        head = np.argpartition(-score_matrix, n - 1, axis=1)[:, :n]
+        head_scores = np.take_along_axis(score_matrix, head, axis=1)
+        order = np.argsort(-head_scores, axis=1, kind="stable")
+        return np.take_along_axis(head, order, axis=1)

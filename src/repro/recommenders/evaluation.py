@@ -1,0 +1,118 @@
+"""Ranking evaluation for recommenders: HR@N, nDCG@N, AUC.
+
+Standard leave-one-out protocol: each user has one held-out positive
+(``feedback.test_items``); metrics measure how highly each model ranks
+it among all items the user has not interacted with.  Used to sanity-
+check that VBPR/AMR are competent recommenders before attacking them —
+an attack on a broken recommender would prove nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.interactions import ImplicitFeedback
+from .base import Recommender
+
+
+@dataclass
+class RankingReport:
+    """Leave-one-out ranking quality of a recommender."""
+
+    hit_ratio: float
+    ndcg: float
+    auc: float
+    cutoff: int
+    num_evaluated_users: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            f"HR@{self.cutoff}": self.hit_ratio,
+            f"nDCG@{self.cutoff}": self.ndcg,
+            "AUC": self.auc,
+            "users": self.num_evaluated_users,
+        }
+
+
+def evaluate_ranking(
+    recommender: Recommender,
+    feedback: ImplicitFeedback,
+    cutoff: int = 10,
+    scores: Optional[np.ndarray] = None,
+) -> RankingReport:
+    """Compute HR@cutoff, nDCG@cutoff and AUC over the leave-one-out split."""
+    if cutoff <= 0:
+        raise ValueError("cutoff must be positive")
+    score_matrix = recommender.score_all() if scores is None else np.asarray(scores)
+    if score_matrix.shape != (feedback.num_users, feedback.num_items):
+        raise ValueError("score matrix shape mismatch")
+
+    hits = 0.0
+    ndcg = 0.0
+    auc = 0.0
+    evaluated = 0
+    for user in range(feedback.num_users):
+        test_item = int(feedback.test_items[user])
+        if test_item < 0:
+            continue
+        evaluated += 1
+        user_scores = score_matrix[user]
+        train_positives = feedback.train_items[user]
+
+        candidate_mask = np.ones(feedback.num_items, dtype=bool)
+        candidate_mask[train_positives] = False
+        candidate_mask[test_item] = True
+
+        test_score = user_scores[test_item]
+        candidate_scores = user_scores[candidate_mask]
+        # Rank of the test item among candidates (1 = best).
+        better = int((candidate_scores > test_score).sum())
+        ties = int((candidate_scores == test_score).sum()) - 1  # exclude itself
+        rank = better + ties // 2 + 1
+
+        num_negatives = candidate_scores.shape[0] - 1
+        if num_negatives > 0:
+            auc += 1.0 - (rank - 1) / num_negatives
+        else:
+            auc += 1.0
+        if rank <= cutoff:
+            hits += 1.0
+            ndcg += 1.0 / np.log2(rank + 1)
+
+    if evaluated == 0:
+        return RankingReport(0.0, 0.0, 0.0, cutoff, 0)
+    return RankingReport(
+        hit_ratio=hits / evaluated,
+        ndcg=ndcg / evaluated,
+        auc=auc / evaluated,
+        cutoff=cutoff,
+        num_evaluated_users=evaluated,
+    )
+
+
+def recommendation_rank_of_item(
+    scores: np.ndarray,
+    feedback: ImplicitFeedback,
+    item_id: int,
+) -> np.ndarray:
+    """Per-user rank (1 = best) of one item among non-interacted items.
+
+    Used by the Fig. 2 reproduction: "rec. position 180th → 14th".
+    Users who already interacted with the item get rank 0 (excluded).
+    """
+    if not 0 <= item_id < feedback.num_items:
+        raise ValueError("item_id out of range")
+    ranks = np.zeros(feedback.num_users, dtype=np.int64)
+    for user in range(feedback.num_users):
+        train_positives = feedback.train_items[user]
+        if item_id in train_positives:
+            continue
+        user_scores = scores[user]
+        item_score = user_scores[item_id]
+        better = int((user_scores > item_score).sum())
+        better -= int((user_scores[train_positives] > item_score).sum())
+        ranks[user] = better + 1
+    return ranks

@@ -1,0 +1,49 @@
+"""Exposure metrics: how recommendation slots spread across the catalog.
+
+The attack premise of TAaMR is *exposure concentration* — a few popular
+categories dominate everyone's top-N while socks languish.  These
+metrics quantify that concentration on any set of top-N lists:
+
+* :func:`item_exposure` — top-N appearances per item;
+* :func:`catalog_coverage` — fraction of the catalog that appears in at
+  least one list (aggregate diversity);
+* :func:`gini_exposure` — Gini coefficient of the exposure distribution
+  (0 = perfectly even, → 1 = all slots on a handful of items).
+
+Used by the ablation analysis to verify that the synthetic substrate
+shows realistic popularity skew and to measure how a successful TAaMR
+attack *redistributes* exposure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def item_exposure(top_n_lists: np.ndarray, num_items: int) -> np.ndarray:
+    """Number of top-N appearances per item across all users."""
+    top_n_lists = np.asarray(top_n_lists)
+    if top_n_lists.ndim != 2:
+        raise ValueError("top_n_lists must be (num_users, N)")
+    if top_n_lists.size and top_n_lists.max() >= num_items:
+        raise ValueError("top_n_lists reference items outside the catalog")
+    return np.bincount(top_n_lists.reshape(-1), minlength=num_items).astype(np.float64)
+
+
+def catalog_coverage(top_n_lists: np.ndarray, num_items: int) -> float:
+    """Fraction of catalog items recommended to at least one user."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    exposure = item_exposure(top_n_lists, num_items)
+    return float((exposure > 0).mean())
+
+
+def gini_exposure(top_n_lists: np.ndarray, num_items: int) -> float:
+    """Gini coefficient of the per-item exposure distribution."""
+    exposure = np.sort(item_exposure(top_n_lists, num_items))
+    total = exposure.sum()
+    if total == 0:
+        return 0.0
+    n = exposure.shape[0]
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * exposure).sum()) / (n * total) - (n + 1) / n)

@@ -1,0 +1,5 @@
+"""``repro.viz`` — dependency-free PNG/PPM export for attack inspection."""
+
+from .images import image_grid, save_attack_comparison, write_png, write_ppm
+
+__all__ = ["write_png", "write_ppm", "image_grid", "save_attack_comparison"]

@@ -1,0 +1,115 @@
+"""Image export without external dependencies (pure stdlib PNG/PPM).
+
+The paper's Fig. 2 shows the clean and attacked product photos side by
+side.  This module lets examples and benchmarks dump those images to
+disk for human inspection — the offline environment has no Pillow or
+matplotlib, so the PNG encoder is implemented directly on ``zlib`` +
+``struct`` (8-bit RGB, no interlacing), plus the even simpler binary
+PPM format as a fallback any image viewer can open.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Sequence
+
+import numpy as np
+
+
+def _to_uint8_hwc(image: np.ndarray) -> np.ndarray:
+    """CHW float [0,1] → HWC uint8, with validation."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[0] not in (1, 3):
+        raise ValueError("expected a CHW image with 1 or 3 channels")
+    if image.shape[0] == 1:
+        image = np.repeat(image, 3, axis=0)
+    clipped = np.clip(image, 0.0, 1.0)
+    return (clipped.transpose(1, 2, 0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def _png_chunk(tag: bytes, payload: bytes) -> bytes:
+    chunk = tag + payload
+    return struct.pack(">I", len(payload)) + chunk + struct.pack(
+        ">I", zlib.crc32(chunk) & 0xFFFFFFFF
+    )
+
+
+def write_png(image: np.ndarray, path: str) -> None:
+    """Write one CHW float image in [0, 1] as an 8-bit RGB PNG."""
+    pixels = _to_uint8_hwc(image)
+    height, width, _ = pixels.shape
+
+    # Each scanline is prefixed with filter type 0 (None).
+    raw = b"".join(b"\x00" + pixels[row].tobytes() for row in range(height))
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)  # 8-bit RGB
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(b"\x89PNG\r\n\x1a\n")
+        handle.write(_png_chunk(b"IHDR", header))
+        handle.write(_png_chunk(b"IDAT", zlib.compress(raw, level=9)))
+        handle.write(_png_chunk(b"IEND", b""))
+
+
+def write_ppm(image: np.ndarray, path: str) -> None:
+    """Write one CHW float image in [0, 1] as a binary PPM (P6)."""
+    pixels = _to_uint8_hwc(image)
+    height, width, _ = pixels.shape
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(pixels.tobytes())
+
+
+def image_grid(images: Sequence[np.ndarray], columns: int = 4, pad: int = 2) -> np.ndarray:
+    """Tile CHW images into one CHW grid image (white padding)."""
+    images = [np.asarray(img) for img in images]
+    if not images:
+        raise ValueError("image_grid needs at least one image")
+    shape = images[0].shape
+    if any(img.shape != shape for img in images):
+        raise ValueError("all images must share one shape")
+    if columns <= 0 or pad < 0:
+        raise ValueError("columns must be positive, pad non-negative")
+
+    channels, height, width = shape
+    rows = (len(images) + columns - 1) // columns
+    grid = np.ones(
+        (
+            channels,
+            rows * height + (rows + 1) * pad,
+            columns * width + (columns + 1) * pad,
+        )
+    )
+    for index, img in enumerate(images):
+        row, col = divmod(index, columns)
+        top = pad + row * (height + pad)
+        left = pad + col * (width + pad)
+        grid[:, top : top + height, left : left + width] = img
+    return grid
+
+
+def save_attack_comparison(
+    clean: np.ndarray,
+    adversarial: np.ndarray,
+    path: str,
+    columns: int = 4,
+) -> None:
+    """Save alternating clean/attacked pairs as one PNG grid.
+
+    ``clean`` and ``adversarial`` are matching NCHW batches; pairs are
+    laid out row-major: clean₀, adv₀, clean₁, adv₁, …
+    """
+    clean = np.asarray(clean)
+    adversarial = np.asarray(adversarial)
+    if clean.shape != adversarial.shape or clean.ndim != 4:
+        raise ValueError("clean and adversarial must be matching NCHW batches")
+    interleaved = []
+    for idx in range(clean.shape[0]):
+        interleaved.append(clean[idx])
+        interleaved.append(adversarial[idx])
+    write_png(image_grid(interleaved, columns=columns), path)

@@ -1,0 +1,215 @@
+"""Unit tests for FGSM, PGD, BIM and the attack evaluation grid.
+
+Uses a small trained classifier on the synthetic catalog (module-scoped
+fixture) so attack behaviour is tested against a real decision boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BIM,
+    FGSM,
+    PGD,
+    default_attack_factories,
+    misclassification_rate,
+    success_rate_grid,
+)
+from repro.attacks.base import AttackResult
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.0025, image_size=24, seed=1)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    assert report.final_train_accuracy > 0.9
+    socks = ds.items_in_category("sock")
+    return ds, model, ds.images[socks][:10]
+
+
+class TestFGSM:
+    def test_perturbation_respects_epsilon(self, setup):
+        _, model, images = setup
+        result = FGSM(model, epsilon=0.02).attack(images, target_class=1)
+        assert result.linf_distances(images).max() <= 0.02 + 1e-12
+
+    def test_outputs_valid_pixels(self, setup):
+        _, model, images = setup
+        result = FGSM(model, epsilon=0.1).attack(images, target_class=1)
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_zero_epsilon_is_identity(self, setup):
+        _, model, images = setup
+        result = FGSM(model, epsilon=0.0).attack(images, target_class=1)
+        np.testing.assert_allclose(result.adversarial_images, images)
+
+    def test_targeted_moves_toward_target(self, setup):
+        """Target-class probability must increase on average."""
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        result = FGSM(model, epsilon=0.06).attack(images, target_class=target)
+        before = model.predict_proba(images)[:, target].mean()
+        after = model.predict_proba(result.adversarial_images)[:, target].mean()
+        assert after > before
+
+    def test_untargeted_reduces_accuracy(self, setup):
+        ds, model, images = setup
+        sock = ds.registry.by_name("sock").category_id
+        labels = np.full(images.shape[0], sock)
+        clean_acc = (model.predict(images) == labels).mean()
+        result = FGSM(model, epsilon=0.08).attack(images, true_labels=labels)
+        adv_acc = (result.adversarial_predictions == labels).mean()
+        assert adv_acc < clean_acc
+
+    def test_untargeted_defaults_to_model_predictions(self, setup):
+        _, model, images = setup
+        result = FGSM(model, epsilon=0.05).attack(images)
+        assert result.target_class is None
+        assert result.num_images == images.shape[0]
+
+    def test_invalid_epsilon(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            FGSM(model, epsilon=-0.1)
+        with pytest.raises(ValueError):
+            FGSM(model, epsilon=4.0)  # forgot the /255 conversion
+
+    def test_invalid_target_class(self, setup):
+        _, model, images = setup
+        with pytest.raises(ValueError):
+            FGSM(model, epsilon=0.05).attack(images, target_class=99)
+
+    def test_rejects_non_nchw(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            FGSM(model, epsilon=0.05).attack(np.zeros((3, 8, 8)))
+
+    def test_rejects_out_of_range_pixels(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            FGSM(model, epsilon=0.05).attack(np.full((1, 3, 24, 24), 2.0))
+
+    def test_batching_matches_single_shot(self, setup):
+        _, model, images = setup
+        full = FGSM(model, epsilon=0.03, batch_size=64).attack(images, target_class=2)
+        chunked = FGSM(model, epsilon=0.03, batch_size=3).attack(images, target_class=2)
+        np.testing.assert_allclose(full.adversarial_images, chunked.adversarial_images)
+
+
+class TestPGD:
+    def test_respects_epsilon_ball(self, setup):
+        _, model, images = setup
+        result = PGD(model, epsilon=0.03, num_steps=5, seed=0).attack(images, target_class=1)
+        assert result.linf_distances(images).max() <= 0.03 + 1e-12
+
+    def test_stronger_than_fgsm_targeted(self, setup):
+        """The paper's core finding about the two attacks (Table III)."""
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        eps = 8 / 255
+        fgsm = FGSM(model, eps).attack(images, target_class=target)
+        pgd = PGD(model, eps, num_steps=10, seed=0).attack(images, target_class=target)
+        target_prob_fgsm = model.predict_proba(fgsm.adversarial_images)[:, target].mean()
+        target_prob_pgd = model.predict_proba(pgd.adversarial_images)[:, target].mean()
+        assert target_prob_pgd >= target_prob_fgsm
+
+    def test_deterministic_with_seed(self, setup):
+        _, model, images = setup
+        a = PGD(model, 0.03, num_steps=3, seed=5).attack(images, target_class=1)
+        b = PGD(model, 0.03, num_steps=3, seed=5).attack(images, target_class=1)
+        np.testing.assert_allclose(a.adversarial_images, b.adversarial_images)
+
+    def test_random_start_differs_from_bim(self, setup):
+        _, model, images = setup
+        pgd = PGD(model, 0.05, num_steps=2, seed=0).attack(images, target_class=1)
+        bim = BIM(model, 0.05, num_steps=2).attack(images, target_class=1)
+        assert not np.allclose(pgd.adversarial_images, bim.adversarial_images)
+
+    def test_zero_epsilon_identity(self, setup):
+        _, model, images = setup
+        result = PGD(model, 0.0, num_steps=3, seed=0).attack(images, target_class=1)
+        np.testing.assert_allclose(result.adversarial_images, images)
+
+    def test_default_step_size(self, setup):
+        _, model, _ = setup
+        attack = PGD(model, 0.08)
+        assert attack.step_size == pytest.approx(0.02)
+        assert attack.num_steps == 10  # the paper's setting
+
+    def test_validation(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            PGD(model, 0.05, num_steps=0)
+        with pytest.raises(ValueError):
+            PGD(model, 0.05, step_size=-1.0)
+
+
+class TestAttackResult:
+    def test_success_semantics_targeted(self):
+        result = AttackResult(
+            adversarial_images=np.zeros((3, 1, 2, 2)),
+            original_predictions=np.array([0, 0, 0]),
+            adversarial_predictions=np.array([1, 0, 1]),
+            epsilon=0.1,
+            target_class=1,
+        )
+        np.testing.assert_array_equal(result.success_mask(), [True, False, True])
+        assert result.success_rate() == pytest.approx(2 / 3)
+
+    def test_success_semantics_untargeted(self):
+        result = AttackResult(
+            adversarial_images=np.zeros((2, 1, 2, 2)),
+            original_predictions=np.array([0, 1]),
+            adversarial_predictions=np.array([0, 0]),
+            epsilon=0.1,
+        )
+        np.testing.assert_array_equal(result.success_mask(), [False, True])
+
+    def test_empty_batch_success_rate(self):
+        result = AttackResult(
+            adversarial_images=np.zeros((0, 1, 2, 2)),
+            original_predictions=np.zeros(0, dtype=int),
+            adversarial_predictions=np.zeros(0, dtype=int),
+            epsilon=0.1,
+            target_class=0,
+        )
+        assert result.success_rate() == 0.0
+
+
+class TestEvaluationGrid:
+    def test_grid_shape_and_monotonicity(self, setup):
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        cells = success_rate_grid(
+            model, images, target, epsilons_255=(4, 16), attacks=default_attack_factories()
+        )
+        assert len(cells) == 4  # 2 attacks x 2 epsilons
+        by_key = {(c.attack, c.epsilon_255): c.success_rate for c in cells}
+        # Larger budgets can only help PGD on this substrate.
+        assert by_key[("PGD", 16.0)] >= by_key[("PGD", 4.0)]
+
+    def test_grid_validates_images(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            success_rate_grid(model, np.zeros((3, 8, 8)), 1)
+
+    def test_misclassification_rate(self):
+        result = AttackResult(
+            adversarial_images=np.zeros((2, 1, 2, 2)),
+            original_predictions=np.array([0, 1]),
+            adversarial_predictions=np.array([0, 0]),
+            epsilon=0.1,
+        )
+        assert misclassification_rate(result, np.array([0, 1])) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            misclassification_rate(result, np.array([0]))

@@ -1,0 +1,74 @@
+"""Unit tests for the item-to-item feature-targeting attack (future work)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ItemToItemAttack
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.0025, image_size=24, seed=2)
+    model, _ = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=8, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    return ds, model
+
+
+class TestItemToItem:
+    def test_feature_distance_decreases(self, setup):
+        ds, model = setup
+        socks = ds.items_in_category("sock")
+        shoes = ds.items_in_category("running_shoe")
+        attack = ItemToItemAttack(model, epsilon=0.06, num_steps=15, seed=0)
+        sources = ds.images[socks[:4]]
+        target = ds.images[shoes[0]]
+        before = attack.feature_distance(sources, target)
+        result = attack.attack_toward_item(sources, target)
+        after = attack.feature_distance(result.adversarial_images, target)
+        assert after.mean() < before.mean()
+
+    def test_respects_epsilon(self, setup):
+        ds, model = setup
+        socks = ds.items_in_category("sock")
+        attack = ItemToItemAttack(model, epsilon=0.02, num_steps=5, seed=0)
+        sources = ds.images[socks[:3]]
+        result = attack.attack_toward_item(sources, ds.images[0])
+        assert result.linf_distances(sources).max() <= 0.02 + 1e-12
+
+    def test_accepts_chw_target(self, setup):
+        ds, model = setup
+        attack = ItemToItemAttack(model, epsilon=0.02, num_steps=2, seed=0)
+        result = attack.attack_toward_item(ds.images[:2], ds.images[5])
+        assert result.num_images == 2
+
+    def test_rejects_multi_image_target(self, setup):
+        ds, model = setup
+        attack = ItemToItemAttack(model, epsilon=0.02, num_steps=2)
+        with pytest.raises(ValueError):
+            attack.attack_toward_item(ds.images[:2], ds.images[:2])
+
+    def test_metadata_has_feature_distance(self, setup):
+        ds, model = setup
+        attack = ItemToItemAttack(model, epsilon=0.03, num_steps=3, seed=0)
+        result = attack.attack_toward_item(ds.images[:2], ds.images[3])
+        assert "final_feature_distance" in result.metadata
+        assert result.metadata["final_feature_distance"] >= 0
+
+    def test_target_class_recorded(self, setup):
+        ds, model = setup
+        attack = ItemToItemAttack(model, epsilon=0.03, num_steps=2, seed=0)
+        result = attack.attack_toward_item(ds.images[:2], ds.images[3])
+        assert result.target_class == int(model.predict(ds.images[3][None])[0])
+
+    def test_validation(self, setup):
+        _, model = setup
+        with pytest.raises(ValueError):
+            ItemToItemAttack(model, epsilon=0.05, num_steps=0)

@@ -1,0 +1,136 @@
+"""Unit tests for the JSMA (l0) and DeepFool (minimal-l2) attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import DeepFool, JSMA
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.0025, image_size=24, seed=1)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    assert report.final_train_accuracy > 0.9
+    socks = ds.items_in_category("sock")
+    return ds, model, ds.images[socks][:5]
+
+
+class TestJSMA:
+    def test_l0_budget_respected(self, setup):
+        _, model, images = setup
+        attack = JSMA(model, theta=0.5, gamma=0.05, batch_pixels=8)
+        result = attack.attack(images, target_class=1)
+        budget = int(0.05 * images[0].size)
+        changed = (result.adversarial_images != images).reshape(len(images), -1).sum(axis=1)
+        assert changed.max() <= budget + 8  # one batch of slack
+
+    def test_target_probability_increases(self, setup):
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        result = JSMA(model, theta=1.0, gamma=0.3, batch_pixels=16).attack(
+            images, target_class=target
+        )
+        before = model.predict_proba(images)[:, target].mean()
+        after = model.predict_proba(result.adversarial_images)[:, target].mean()
+        assert after > before
+
+    def test_perturbation_is_sparse_vs_fgsm(self, setup):
+        """JSMA's defining property: far fewer pixels touched than FGSM."""
+        from repro.attacks import FGSM
+
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        jsma = JSMA(model, theta=1.0, gamma=0.1, batch_pixels=8).attack(
+            images, target_class=target
+        )
+        fgsm = FGSM(model, epsilon=0.05).attack(images, target_class=target)
+        jsma_changed = (jsma.adversarial_images != images).mean()
+        fgsm_changed = (fgsm.adversarial_images != images).mean()
+        assert jsma_changed < fgsm_changed / 2
+
+    def test_valid_pixels(self, setup):
+        _, model, images = setup
+        result = JSMA(model, theta=1.0, gamma=0.1).attack(images, target_class=2)
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_metadata_counts_changed_pixels(self, setup):
+        _, model, images = setup
+        result = JSMA(model, theta=0.5, gamma=0.02).attack(images, target_class=1)
+        assert result.metadata["mean_pixels_changed"] >= 0
+
+    def test_stops_early_on_success(self, setup):
+        """Images already classified as the target are left unchanged."""
+        ds, model, images = setup
+        shoes = ds.items_in_category("running_shoe")
+        target = ds.registry.by_name("running_shoe").category_id
+        shoe_images = ds.images[shoes][:3]
+        result = JSMA(model, theta=1.0, gamma=0.3).attack(shoe_images, target_class=target)
+        already = model.predict(shoe_images) == target
+        np.testing.assert_allclose(
+            result.adversarial_images[already], shoe_images[already]
+        )
+
+    def test_validation(self, setup):
+        _, model, images = setup
+        with pytest.raises(ValueError):
+            JSMA(model, theta=0.0)
+        with pytest.raises(ValueError):
+            JSMA(model, gamma=0.0)
+        with pytest.raises(ValueError):
+            JSMA(model, batch_pixels=0)
+        with pytest.raises(ValueError):
+            JSMA(model).attack(images, target_class=99)
+        with pytest.raises(ValueError):
+            JSMA(model).attack(np.zeros((3, 8, 8)), target_class=0)
+
+
+class TestDeepFool:
+    def test_flips_most_images(self, setup):
+        _, model, images = setup
+        result = DeepFool(model, max_steps=30).attack(images)
+        assert result.success_rate() > 0.5
+
+    def test_perturbation_much_smaller_than_image(self, setup):
+        """DeepFool finds a *minimal* perturbation: l2 far below image norm."""
+        _, model, images = setup
+        margins = DeepFool(model, max_steps=30).margin_estimates(images)
+        image_norms = np.sqrt((images ** 2).reshape(len(images), -1).sum(axis=1))
+        assert np.median(margins) < 0.2 * image_norms.mean()
+
+    def test_valid_pixels(self, setup):
+        _, model, images = setup
+        result = DeepFool(model).attack(images)
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_untargeted_semantics(self, setup):
+        _, model, images = setup
+        result = DeepFool(model).attack(images)
+        assert result.target_class is None
+        # success == left the original class
+        flips = result.adversarial_predictions != result.original_predictions
+        np.testing.assert_array_equal(result.success_mask(), flips)
+
+    def test_margin_estimates_nonnegative(self, setup):
+        _, model, images = setup
+        margins = DeepFool(model, max_steps=10).margin_estimates(images[:3])
+        assert np.all(margins >= 0)
+
+    def test_validation(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            DeepFool(model, max_steps=0)
+        with pytest.raises(ValueError):
+            DeepFool(model, overshoot=-0.1)
+        with pytest.raises(ValueError):
+            DeepFool(model).attack(np.zeros((3, 8, 8)))

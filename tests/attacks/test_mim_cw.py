@@ -1,0 +1,146 @@
+"""Unit tests for the MIM and Carlini-Wagner attack extensions."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import MIM, CarliniWagnerL2, FGSM
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.0025, image_size=24, seed=1)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    assert report.final_train_accuracy > 0.9
+    socks = ds.items_in_category("sock")
+    return ds, model, ds.images[socks][:8]
+
+
+class TestMIM:
+    def test_respects_epsilon(self, setup):
+        _, model, images = setup
+        result = MIM(model, epsilon=0.04, num_steps=5).attack(images, target_class=1)
+        assert result.linf_distances(images).max() <= 0.04 + 1e-12
+
+    def test_valid_pixels(self, setup):
+        _, model, images = setup
+        result = MIM(model, epsilon=0.1, num_steps=5).attack(images, target_class=1)
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_zero_epsilon_identity(self, setup):
+        _, model, images = setup
+        result = MIM(model, epsilon=0.0, num_steps=3).attack(images, target_class=1)
+        np.testing.assert_allclose(result.adversarial_images, images)
+
+    def test_moves_toward_target(self, setup):
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        result = MIM(model, epsilon=0.08, num_steps=10, step_size=0.02).attack(
+            images, target_class=target
+        )
+        before = model.predict_proba(images)[:, target].mean()
+        after = model.predict_proba(result.adversarial_images)[:, target].mean()
+        assert after > before
+
+    def test_momentum_accumulates_vs_zero_decay(self, setup):
+        _, model, images = setup
+        with_momentum = MIM(model, 0.05, num_steps=5, decay=1.0).attack(
+            images, target_class=2
+        )
+        without_momentum = MIM(model, 0.05, num_steps=5, decay=0.0).attack(
+            images, target_class=2
+        )
+        assert not np.allclose(
+            with_momentum.adversarial_images, without_momentum.adversarial_images
+        )
+
+    def test_default_step_size(self, setup):
+        _, model, _ = setup
+        attack = MIM(model, 0.1, num_steps=10)
+        assert attack.step_size == pytest.approx(0.01)
+
+    def test_validation(self, setup):
+        _, model, _ = setup
+        with pytest.raises(ValueError):
+            MIM(model, 0.05, num_steps=0)
+        with pytest.raises(ValueError):
+            MIM(model, 0.05, decay=-1.0)
+        with pytest.raises(ValueError):
+            MIM(model, 0.05, step_size=0.0)
+
+
+class TestCarliniWagner:
+    def test_reaches_target_with_large_c(self, setup):
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        attack = CarliniWagnerL2(model, c=20.0, num_steps=100, learning_rate=0.05)
+        result = attack.attack(images, target_class=target)
+        assert result.success_rate() > 0.8
+
+    def test_perturbation_smaller_than_sign_attacks(self, setup):
+        """C&W minimises l2: its perturbation should be far below the
+        l2 of an FGSM attack achieving comparable misclassification."""
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        cw = CarliniWagnerL2(model, c=20.0, num_steps=100).attack(
+            images, target_class=target
+        )
+        fgsm = FGSM(model, epsilon=0.3).attack(images, target_class=target)
+        cw_l2 = np.sqrt(
+            ((cw.adversarial_images - images) ** 2).reshape(len(images), -1).sum(axis=1)
+        )
+        fgsm_l2 = np.sqrt(
+            ((fgsm.adversarial_images - images) ** 2).reshape(len(images), -1).sum(axis=1)
+        )
+        success = cw.success_mask()
+        if success.any():
+            assert cw_l2[success].mean() < fgsm_l2[success].mean()
+
+    def test_failed_items_stay_clean(self, setup):
+        """Items the attack never flips keep the original pixels."""
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        # One step cannot flip anything on this model.
+        attack = CarliniWagnerL2(model, c=1e-6, num_steps=1)
+        result = attack.attack(images, target_class=target)
+        failures = ~result.success_mask()
+        np.testing.assert_allclose(result.adversarial_images[failures], images[failures])
+
+    def test_valid_pixel_range(self, setup):
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        result = CarliniWagnerL2(model, c=20.0, num_steps=30).attack(
+            images, target_class=target
+        )
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_metadata_l2(self, setup):
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        result = CarliniWagnerL2(model, c=20.0, num_steps=40).attack(
+            images[:4], target_class=target
+        )
+        assert "mean_l2" in result.metadata
+
+    def test_validation(self, setup):
+        _, model, images = setup
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(model, c=0.0)
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(model, confidence=-1.0)
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(model, num_steps=0)
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(model).attack(images, target_class=99)
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(model).attack(np.zeros((3, 8, 8)), target_class=0)

@@ -1,0 +1,79 @@
+"""Unit tests for the query-only NES black-box attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import NESAttack
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.0025, image_size=24, seed=1)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    assert report.final_train_accuracy > 0.9
+    socks = ds.items_in_category("sock")
+    return ds, model, ds.images[socks][:4]
+
+
+class TestNES:
+    def test_target_probability_increases(self, setup):
+        """Even without gradients, queries alone must make progress."""
+        ds, model, images = setup
+        target = ds.registry.by_name("running_shoe").category_id
+        attack = NESAttack(model, 32 / 255, num_steps=10, samples_per_step=20, seed=0)
+        result = attack.attack(images, target_class=target)
+        before = model.predict_proba(images)[:, target].mean()
+        after = model.predict_proba(result.adversarial_images)[:, target].mean()
+        assert after > before
+
+    def test_respects_epsilon(self, setup):
+        _, model, images = setup
+        attack = NESAttack(model, 0.03, num_steps=3, samples_per_step=8, seed=0)
+        result = attack.attack(images, target_class=1)
+        assert result.linf_distances(images).max() <= 0.03 + 1e-12
+
+    def test_valid_pixels(self, setup):
+        _, model, images = setup
+        attack = NESAttack(model, 0.1, num_steps=3, samples_per_step=8, seed=0)
+        result = attack.attack(images, target_class=1)
+        assert result.adversarial_images.min() >= 0.0
+        assert result.adversarial_images.max() <= 1.0
+
+    def test_query_budget_accounted(self, setup):
+        _, model, images = setup
+        attack = NESAttack(model, 0.05, num_steps=2, samples_per_step=5, seed=0)
+        result = attack.attack(images[:2], target_class=1)
+        # Upper bound: steps x antithetic pairs x 2 per image + early-exit checks.
+        assert 0 < result.metadata["queries_used"] <= 2 * (2 * 2 * 5 + 2)
+
+    def test_deterministic_with_seed(self, setup):
+        _, model, images = setup
+        a = NESAttack(model, 0.05, num_steps=2, samples_per_step=5, seed=3).attack(
+            images[:2], target_class=1
+        )
+        b = NESAttack(model, 0.05, num_steps=2, samples_per_step=5, seed=3).attack(
+            images[:2], target_class=1
+        )
+        np.testing.assert_allclose(a.adversarial_images, b.adversarial_images)
+
+    def test_validation(self, setup):
+        _, model, images = setup
+        with pytest.raises(ValueError):
+            NESAttack(model, 2.0)
+        with pytest.raises(ValueError):
+            NESAttack(model, 0.05, num_steps=0)
+        with pytest.raises(ValueError):
+            NESAttack(model, 0.05, sigma=0.0)
+        with pytest.raises(ValueError):
+            NESAttack(model, 0.05).attack(images, target_class=99)
+        with pytest.raises(ValueError):
+            NESAttack(model, 0.05).attack(np.zeros((3, 8, 8)), target_class=0)

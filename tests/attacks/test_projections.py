@@ -1,0 +1,101 @@
+"""Unit tests for norm-ball projections."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    clip_pixels,
+    epsilon_from_255,
+    linf_distance,
+    project_l2,
+    project_linf,
+    random_uniform_start,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestLinfProjection:
+    def test_inside_ball_untouched(self):
+        clean = RNG.random((2, 3, 4, 4))
+        perturbed = clean + 0.01
+        out = project_linf(perturbed, clean, epsilon=0.05)
+        np.testing.assert_allclose(out, perturbed)
+
+    def test_outside_ball_clipped_to_surface(self):
+        clean = np.zeros((1, 1, 2, 2))
+        perturbed = np.full((1, 1, 2, 2), 0.5)
+        out = project_linf(perturbed, clean, epsilon=0.1)
+        np.testing.assert_allclose(out, 0.1)
+
+    def test_result_always_within_epsilon(self):
+        clean = RNG.random((3, 3, 8, 8))
+        perturbed = clean + RNG.normal(0, 1, clean.shape)
+        out = project_linf(perturbed, clean, epsilon=0.03)
+        assert np.abs(out - clean).max() <= 0.03 + 1e-12
+
+    def test_idempotent(self):
+        clean = RNG.random((2, 1, 4, 4))
+        perturbed = clean + RNG.normal(0, 0.5, clean.shape)
+        once = project_linf(perturbed, clean, 0.02)
+        twice = project_linf(once, clean, 0.02)
+        np.testing.assert_allclose(once, twice)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            project_linf(np.zeros(3), np.zeros(3), -0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            project_linf(np.zeros(3), np.zeros(4), 0.1)
+
+
+class TestL2Projection:
+    def test_norm_bounded(self):
+        clean = RNG.random((4, 3, 5, 5))
+        perturbed = clean + RNG.normal(0, 1, clean.shape)
+        out = project_l2(perturbed, clean, epsilon=0.5)
+        norms = np.linalg.norm((out - clean).reshape(4, -1), axis=1)
+        assert np.all(norms <= 0.5 + 1e-9)
+
+    def test_inside_ball_untouched(self):
+        clean = RNG.random((1, 1, 3, 3))
+        perturbed = clean + 1e-4
+        out = project_l2(perturbed, clean, epsilon=1.0)
+        np.testing.assert_allclose(out, perturbed)
+
+    def test_direction_preserved(self):
+        clean = np.zeros((1, 1, 2, 2))
+        delta = np.array([[[[3.0, 0.0], [0.0, 4.0]]]])  # norm 5
+        out = project_l2(clean + delta, clean, epsilon=1.0)
+        np.testing.assert_allclose(out, delta / 5.0, atol=1e-12)
+
+
+class TestHelpers:
+    def test_clip_pixels(self):
+        out = clip_pixels(np.array([-0.5, 0.5, 1.5]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_linf_distance(self):
+        a = np.zeros((2, 1, 2, 2))
+        b = a.copy()
+        b[0, 0, 0, 0] = 0.3
+        b[1, 0, 1, 1] = -0.2
+        np.testing.assert_allclose(linf_distance(a, b), [0.3, 0.2])
+
+    def test_linf_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linf_distance(np.zeros((1, 1, 2, 2)), np.zeros((2, 1, 2, 2)))
+
+    def test_epsilon_from_255(self):
+        assert epsilon_from_255(16) == pytest.approx(16 / 255)
+        with pytest.raises(ValueError):
+            epsilon_from_255(-1)
+
+    def test_random_start_within_ball_and_valid(self):
+        clean = RNG.random((5, 3, 4, 4))
+        rng = np.random.default_rng(1)
+        start = random_uniform_start(clean, 0.1, rng)
+        assert np.abs(start - clean).max() <= 0.1 + 1e-12
+        assert start.min() >= 0.0
+        assert start.max() <= 1.0

@@ -1,0 +1,105 @@
+"""Property-based tests for attack projections and perturbation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks import clip_pixels, linf_distance, project_l2, project_linf
+
+pixel_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+delta_floats = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+image_shape = st.tuples(
+    st.integers(1, 3), st.integers(1, 3), st.integers(2, 5), st.integers(2, 5)
+)
+
+
+@st.composite
+def clean_and_perturbed(draw):
+    shape = draw(image_shape)
+    clean = draw(arrays(dtype=np.float64, shape=shape, elements=pixel_floats))
+    delta = draw(arrays(dtype=np.float64, shape=shape, elements=delta_floats))
+    epsilon = draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    return clean, clean + delta, epsilon
+
+
+class TestLinfProjectionProperties:
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_containment(self, case):
+        clean, perturbed, epsilon = case
+        projected = project_linf(perturbed, clean, epsilon)
+        assert np.abs(projected - clean).max() <= epsilon + 1e-12
+
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence(self, case):
+        clean, perturbed, epsilon = case
+        once = project_linf(perturbed, clean, epsilon)
+        twice = project_linf(once, clean, epsilon)
+        np.testing.assert_allclose(once, twice, atol=1e-15)
+
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_point_inside_ball(self, case):
+        clean, perturbed, epsilon = case
+        inside = clean + np.clip(perturbed - clean, -epsilon, epsilon)
+        np.testing.assert_allclose(
+            project_linf(inside, clean, epsilon), inside, atol=1e-15
+        )
+
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_never_increases_distance(self, case):
+        clean, perturbed, epsilon = case
+        projected = project_linf(perturbed, clean, epsilon)
+        assert (
+            np.abs(projected - clean).max() <= np.abs(perturbed - clean).max() + 1e-12
+        )
+
+
+class TestL2ProjectionProperties:
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_containment(self, case):
+        clean, perturbed, epsilon = case
+        projected = project_l2(perturbed, clean, epsilon)
+        norms = np.linalg.norm(
+            (projected - clean).reshape(clean.shape[0], -1), axis=1
+        )
+        assert np.all(norms <= epsilon + 1e-9)
+
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence(self, case):
+        clean, perturbed, epsilon = case
+        once = project_l2(perturbed, clean, epsilon)
+        twice = project_l2(once, clean, epsilon)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestClipAndDistance:
+    @given(arrays(dtype=np.float64, shape=image_shape, elements=delta_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_range(self, images):
+        clipped = clip_pixels(images)
+        assert clipped.min() >= 0.0
+        assert clipped.max() <= 1.0
+
+    @given(arrays(dtype=np.float64, shape=image_shape, elements=pixel_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_identity_on_valid(self, images):
+        np.testing.assert_array_equal(clip_pixels(images), images)
+
+    @given(clean_and_perturbed())
+    @settings(max_examples=60, deadline=None)
+    def test_linf_distance_symmetry(self, case):
+        clean, perturbed, _ = case
+        np.testing.assert_allclose(
+            linf_distance(clean, perturbed), linf_distance(perturbed, clean)
+        )
+
+    @given(arrays(dtype=np.float64, shape=image_shape, elements=pixel_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_linf_distance_identity(self, images):
+        np.testing.assert_allclose(linf_distance(images, images), 0.0)

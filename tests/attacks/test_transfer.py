@@ -1,0 +1,96 @@
+"""Unit tests for the attack transferability study."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD, evaluate_transfer, transfer_matrix
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, train_catalog_classifier
+from repro.nn import TinyResNet
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.0025, image_size=24, seed=6)
+    models = {}
+    for name, seed in (("model_a", 0), ("model_b", 1)):
+        model, report = train_catalog_classifier(
+            ds.images,
+            ds.item_categories,
+            ds.num_categories,
+            widths=(8, 16),
+            blocks_per_stage=(1, 1),
+            config=ClassifierConfig(
+                epochs=20, batch_size=32, learning_rate=0.08, seed=seed
+            ),
+        )
+        assert report.final_train_accuracy > 0.9
+        models[name] = model
+    socks = ds.items_in_category("sock")
+    target = ds.registry.by_name("running_shoe").category_id
+    return ds, models, ds.images[socks][:10], target
+
+
+def builder(model):
+    return PGD(model, 24 / 255, num_steps=10, seed=0)
+
+
+class TestEvaluateTransfer:
+    def test_self_transfer_equals_white_box(self, setup):
+        _, models, images, target = setup
+        result = evaluate_transfer(
+            models["model_a"], models["model_a"], images, target, builder
+        )
+        assert result.transfer_success == pytest.approx(result.white_box_success)
+
+    def test_cross_transfer_bounded_by_white_box_like(self, setup):
+        _, models, images, target = setup
+        result = evaluate_transfer(
+            models["model_a"], models["model_b"], images, target, builder
+        )
+        assert 0.0 <= result.transfer_success <= 1.0
+        assert 0.0 <= result.white_box_success <= 1.0
+
+    def test_names_recorded(self, setup):
+        _, models, images, target = setup
+        result = evaluate_transfer(
+            models["model_a"], models["model_b"], images, target, builder,
+            surrogate_name="A", victim_name="B",
+        )
+        assert result.surrogate_name == "A"
+        assert result.victim_name == "B"
+
+    def test_transfer_ratio(self, setup):
+        _, models, images, target = setup
+        result = evaluate_transfer(
+            models["model_a"], models["model_a"], images, target, builder
+        )
+        if result.white_box_success > 0:
+            assert result.transfer_ratio == pytest.approx(1.0)
+
+    def test_class_space_mismatch_rejected(self, setup):
+        _, models, images, target = setup
+        other = TinyResNet(num_classes=3, widths=(8,), blocks_per_stage=(1,))
+        with pytest.raises(ValueError):
+            evaluate_transfer(models["model_a"], other, images, target, builder)
+
+
+class TestTransferMatrix:
+    def test_full_matrix(self, setup):
+        _, models, images, target = setup
+        matrix = transfer_matrix(models, images, target, builder)
+        assert set(matrix) == {"model_a", "model_b"}
+        for surrogate in matrix:
+            assert set(matrix[surrogate]) == {"model_a", "model_b"}
+
+    def test_diagonal_is_white_box(self, setup):
+        _, models, images, target = setup
+        matrix = transfer_matrix(models, images, target, builder)
+        for name in models:
+            cell = matrix[name][name]
+            assert cell.transfer_success == pytest.approx(cell.white_box_success)
+
+    def test_requires_two_models(self, setup):
+        _, models, images, target = setup
+        with pytest.raises(ValueError):
+            transfer_matrix({"only": models["model_a"]}, images, target, builder)

@@ -1,0 +1,150 @@
+"""Unit tests for weighted CHR and the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ascii_curve,
+    category_hit_ratio,
+    chr_curve,
+    success_curve,
+    weighted_category_hit_ratio,
+)
+from repro.core.pipeline import AttackOutcome, VisualQuality
+from repro.core.scenarios import AttackScenario
+
+
+def outcome(attack, eps, chr_after=5.0, success=0.5):
+    return AttackOutcome(
+        scenario=AttackScenario("sock", "running_shoe", True),
+        attack_name=attack,
+        epsilon_255=eps,
+        chr_source_before=2.0,
+        chr_target_before=10.0,
+        chr_source_after=chr_after,
+        success_rate=success,
+        visual=VisualQuality(30.0, 0.95, 0.5),
+        attacked_item_ids=np.array([1, 2]),
+        adversarial_images=np.zeros((2, 3, 4, 4)),
+        scores_after=np.zeros((2, 5)),
+    )
+
+
+class TestWeightedCHR:
+    def test_bounded(self):
+        lists = np.array([[0, 1, 2, 3]])
+        value = weighted_category_hit_ratio(lists, np.array([0, 2]))
+        assert 0.0 <= value <= 1.0
+
+    def test_full_category_equals_one(self):
+        lists = np.array([[0, 1], [1, 0]])
+        assert weighted_category_hit_ratio(lists, np.array([0, 1])) == pytest.approx(1.0)
+
+    def test_top_position_weighs_more(self):
+        lists = np.array([[0, 1, 2, 3]])
+        top_hit = weighted_category_hit_ratio(lists, np.array([0]))
+        bottom_hit = weighted_category_hit_ratio(lists, np.array([3]))
+        assert top_hit > bottom_hit
+
+    def test_unweighted_chr_is_position_blind(self):
+        lists = np.array([[0, 1, 2, 3]])
+        assert category_hit_ratio(lists, np.array([0])) == category_hit_ratio(
+            lists, np.array([3])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_category_hit_ratio(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            weighted_category_hit_ratio(np.zeros((1, 0), dtype=int), np.array([0]))
+
+
+class TestCurves:
+    def test_chr_curve_sorted_by_epsilon(self):
+        outcomes = [outcome("PGD", 8, 6.0), outcome("PGD", 2, 3.0), outcome("FGSM", 4)]
+        xs, ys = chr_curve(outcomes, "PGD")
+        np.testing.assert_array_equal(xs, [2, 8])
+        np.testing.assert_array_equal(ys, [3.0, 6.0])
+
+    def test_success_curve(self):
+        outcomes = [outcome("FGSM", 2, success=0.1), outcome("FGSM", 8, success=0.9)]
+        xs, ys = success_curve(outcomes, "FGSM")
+        np.testing.assert_array_equal(ys, [0.1, 0.9])
+
+    def test_unknown_attack_raises(self):
+        with pytest.raises(ValueError):
+            chr_curve([outcome("PGD", 2)], "DeepFool")
+
+
+class TestAsciiCurve:
+    def test_renders_all_points(self):
+        text = ascii_curve([1, 2, 3, 4], [1.0, 2.0, 3.0, 2.5], width=20, height=5)
+        assert text.count("o") >= 3  # points may share a cell
+
+    def test_label_included(self):
+        text = ascii_curve([0, 1], [0, 1], label="CHR vs eps")
+        assert text.startswith("CHR vs eps")
+
+    def test_constant_series_supported(self):
+        text = ascii_curve([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_curve([], [])
+        with pytest.raises(ValueError):
+            ascii_curve([1, 2], [1])
+        with pytest.raises(ValueError):
+            ascii_curve([1, 2], [1, 2], width=4)
+
+
+class TestCategoryShift:
+    @pytest.fixture(scope="class")
+    def shift_setup(self):
+        from repro.attacks import PGD
+        from repro.core import TAaMRPipeline, make_scenario
+        from repro.data import tiny_dataset
+        from repro.features import (
+            ClassifierConfig,
+            FeatureExtractor,
+            train_catalog_classifier,
+        )
+        from repro.recommenders import VBPR, VBPRConfig
+
+        ds = tiny_dataset(seed=0, image_size=16)
+        model, _ = train_catalog_classifier(
+            ds.images,
+            ds.item_categories,
+            ds.num_categories,
+            widths=(8, 16),
+            blocks_per_stage=(1, 1),
+            config=ClassifierConfig(epochs=10, batch_size=16, seed=0),
+        )
+        extractor = FeatureExtractor(model).fit(ds.images)
+        vbpr = VBPR(
+            ds.num_users,
+            ds.num_items,
+            extractor.transform(ds.images),
+            VBPRConfig(epochs=8),
+        ).fit(ds.feedback)
+        pipeline = TAaMRPipeline(ds, extractor, vbpr, cutoff=20)
+        scenario = make_scenario(ds.registry, "sock", "running_shoe")
+        outcome = pipeline.attack_category(
+            scenario, PGD(model, 24 / 255, num_steps=5, seed=0)
+        )
+        return pipeline, outcome
+
+    def test_shift_covers_every_category(self, shift_setup):
+        from repro.core import category_shift
+
+        pipeline, outcome = shift_setup
+        shift = category_shift(pipeline, outcome)
+        assert set(shift) == set(pipeline.dataset.registry.names)
+
+    def test_shift_is_zero_sum(self, shift_setup):
+        """CHR redistribution: gains and losses across categories cancel."""
+        from repro.core import category_shift
+
+        pipeline, outcome = shift_setup
+        shift = category_shift(pipeline, outcome)
+        assert sum(shift.values()) == pytest.approx(0.0, abs=1e-6)

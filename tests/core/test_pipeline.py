@@ -1,0 +1,183 @@
+"""Unit tests for the TAaMR pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, PGD
+from repro.core import TAaMRPipeline, make_scenario
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, FeatureExtractor, train_catalog_classifier
+from repro.recommenders import BPRMF, BPRMFConfig, VBPR, VBPRConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    ds = amazon_men_like(scale=0.003, image_size=24, seed=3)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    assert report.final_train_accuracy > 0.9
+    extractor = FeatureExtractor(model).fit(ds.images)
+    features = extractor.transform(ds.images)
+    vbpr = VBPR(ds.num_users, ds.num_items, features, VBPRConfig(epochs=30, seed=0)).fit(
+        ds.feedback
+    )
+    return TAaMRPipeline(ds, extractor, vbpr, cutoff=50)
+
+
+class TestPipelineConstruction:
+    def test_requires_visual_recommender(self, pipeline):
+        ds = pipeline.dataset
+        bpr = BPRMF(ds.num_users, ds.num_items, BPRMFConfig(epochs=1)).fit(ds.feedback)
+        with pytest.raises(TypeError):
+            TAaMRPipeline(ds, pipeline.extractor, bpr)
+
+    def test_requires_fitted_recommender(self, pipeline):
+        ds = pipeline.dataset
+        unfitted = VBPR(ds.num_users, ds.num_items, pipeline.clean_features)
+        with pytest.raises(RuntimeError):
+            TAaMRPipeline(ds, pipeline.extractor, unfitted)
+
+    def test_requires_fitted_extractor(self, pipeline):
+        ds = pipeline.dataset
+        with pytest.raises(RuntimeError):
+            TAaMRPipeline(
+                ds, FeatureExtractor(pipeline.extractor.model), pipeline.recommender
+            )
+
+    def test_cutoff_capped_at_item_count(self, pipeline):
+        ds = pipeline.dataset
+        capped = TAaMRPipeline(ds, pipeline.extractor, pipeline.recommender, cutoff=10_000)
+        assert capped.cutoff == ds.num_items
+
+    def test_invalid_cutoff(self, pipeline):
+        with pytest.raises(ValueError):
+            TAaMRPipeline(
+                pipeline.dataset, pipeline.extractor, pipeline.recommender, cutoff=0
+            )
+
+
+class TestCleanViews:
+    def test_chr_report_sums_to_100(self, pipeline):
+        report = pipeline.clean_chr_report()
+        assert sum(report.values()) == pytest.approx(100.0, abs=1e-6)
+
+    def test_source_category_is_low_recommended(self, pipeline):
+        """The premise of the paper's scenarios holds on our substrate."""
+        report = pipeline.clean_chr_report()
+        assert report["sock"] < report["running_shoe"]
+
+    def test_category_items_uses_classifier(self, pipeline):
+        socks = pipeline.category_items("sock")
+        sock_id = pipeline.dataset.registry.by_name("sock").category_id
+        assert np.all(pipeline.item_classes[socks] == sock_id)
+
+    def test_top_lists_exclude_train_items(self, pipeline):
+        feedback = pipeline.dataset.feedback
+        for user in range(feedback.num_users):
+            overlap = set(pipeline.clean_top_n[user].tolist()) & set(
+                feedback.train_items[user].tolist()
+            )
+            assert not overlap
+
+
+class TestAttackOutcome:
+    @pytest.fixture(scope="class")
+    def outcome(self, pipeline):
+        scenario = make_scenario(pipeline.dataset.registry, "sock", "running_shoe")
+        attack = PGD(pipeline.extractor.model, 24 / 255, num_steps=10, seed=0)
+        return pipeline.attack_category(scenario, attack)
+
+    def test_chr_increases_under_strong_attack(self, pipeline, outcome):
+        assert outcome.chr_source_after > outcome.chr_source_before
+
+    def test_attack_succeeds_on_most_items(self, outcome):
+        assert outcome.success_rate > 0.5
+
+    def test_target_was_more_popular(self, outcome):
+        assert outcome.chr_target_before > outcome.chr_source_before
+
+    def test_visual_metrics_in_expected_ranges(self, outcome):
+        assert 20 < outcome.visual.psnr < 50  # paper's PSNR band
+        assert 0.5 < outcome.visual.ssim <= 1.0
+        assert outcome.visual.psm > 0
+
+    def test_adversarial_images_valid(self, pipeline, outcome):
+        images = outcome.adversarial_images
+        assert images.min() >= 0.0
+        assert images.max() <= 1.0
+        clean = pipeline.dataset.images[outcome.attacked_item_ids]
+        assert np.abs(images - clean).max() <= 24 / 255 + 1e-12
+
+    def test_epsilon_recorded_in_255_units(self, outcome):
+        assert outcome.epsilon_255 == pytest.approx(24.0)
+
+    def test_uplift_property(self, outcome):
+        assert outcome.chr_uplift == pytest.approx(
+            outcome.chr_source_after / outcome.chr_source_before
+        )
+
+    def test_unattacked_categories_lists_still_valid(self, pipeline, outcome):
+        """Post-attack scores produce well-formed lists."""
+        assert outcome.scores_after.shape == pipeline.clean_scores.shape
+        assert np.isfinite(outcome.scores_after).all()
+
+    def test_weak_attack_moves_less_than_strong(self, pipeline, outcome):
+        scenario = make_scenario(pipeline.dataset.registry, "sock", "running_shoe")
+        weak = pipeline.attack_category(
+            scenario, FGSM(pipeline.extractor.model, 1 / 255)
+        )
+        assert weak.chr_source_after <= outcome.chr_source_after + 1e-9
+
+    def test_item_report_fields(self, pipeline, outcome):
+        item_id = int(outcome.attacked_item_ids[0])
+        report = pipeline.item_report(outcome, item_id)
+        assert report.item_id == item_id
+        for prob in (
+            report.source_probability_before,
+            report.target_probability_before,
+            report.source_probability_after,
+            report.target_probability_after,
+        ):
+            assert 0.0 <= prob <= 1.0
+        assert report.mean_rank_before >= 1.0
+        assert report.mean_rank_after >= 1.0
+
+    def test_item_report_target_probability_rises(self, pipeline, outcome):
+        """Fig. 2: successful attack drives target probability up."""
+        successes = outcome.attacked_item_ids[
+            pipeline.extractor.model.predict(outcome.adversarial_images)
+            == pipeline.dataset.registry.by_name("running_shoe").category_id
+        ]
+        if successes.size == 0:
+            pytest.skip("no successful item in this run")
+        report = pipeline.item_report(outcome, int(successes[0]))
+        assert report.target_probability_after > report.target_probability_before
+
+    def test_item_report_unattacked_item_rejected(self, pipeline, outcome):
+        shoes = pipeline.category_items("running_shoe")
+        with pytest.raises(ValueError):
+            pipeline.item_report(outcome, int(shoes[0]))
+
+    def test_unknown_source_category_items(self, pipeline):
+        scenario = make_scenario(pipeline.dataset.registry, "sock", "running_shoe")
+        # Forge a pipeline whose classifier never predicts 'sock'.
+        forged_classes = pipeline.item_classes.copy()
+        original = pipeline.item_classes
+        pipeline.item_classes = np.where(
+            forged_classes == pipeline.dataset.registry.by_name("sock").category_id,
+            pipeline.dataset.registry.by_name("jeans").category_id,
+            forged_classes,
+        )
+        try:
+            with pytest.raises(ValueError, match="no items"):
+                pipeline.attack_category(
+                    scenario, FGSM(pipeline.extractor.model, 2 / 255)
+                )
+        finally:
+            pipeline.item_classes = original

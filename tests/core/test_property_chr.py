@@ -1,0 +1,80 @@
+"""Property-based tests for the Category Hit Ratio metric."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import category_hit_ratio, chr_by_category
+
+
+@st.composite
+def topn_lists(draw):
+    num_items = draw(st.integers(4, 40))
+    num_users = draw(st.integers(1, 10))
+    cutoff = draw(st.integers(1, min(num_items, 12)))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 31)))
+    lists = np.stack(
+        [rng.choice(num_items, size=cutoff, replace=False) for _ in range(num_users)]
+    )
+    item_classes = rng.integers(0, draw(st.integers(1, 5)), size=num_items)
+    return lists, item_classes, num_items
+
+
+class TestCHRProperties:
+    @given(topn_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_zero_one(self, case):
+        lists, item_classes, num_items = case
+        for cls in np.unique(item_classes):
+            value = category_hit_ratio(lists, np.flatnonzero(item_classes == cls))
+            assert 0.0 <= value <= 1.0
+
+    @given(topn_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_additivity(self, case):
+        """CHR over disjoint categories sums to CHR of their union."""
+        lists, item_classes, num_items = case
+        classes = np.unique(item_classes)
+        total = sum(
+            category_hit_ratio(lists, np.flatnonzero(item_classes == cls))
+            for cls in classes
+        )
+        everything = category_hit_ratio(lists, np.arange(num_items))
+        assert abs(total - everything) < 1e-9
+
+    @given(topn_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_full_universe_is_one(self, case):
+        lists, _, num_items = case
+        assert category_hit_ratio(lists, np.arange(num_items)) == 1.0
+
+    @given(topn_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_item_set(self, case):
+        """Adding items to the category can only raise CHR."""
+        lists, item_classes, num_items = case
+        small = np.flatnonzero(item_classes == item_classes[0])
+        large = np.union1d(small, np.arange(num_items // 2))
+        assert category_hit_ratio(lists, large) >= category_hit_ratio(lists, small)
+
+    @given(topn_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_to_within_list_order(self, case):
+        """CHR counts membership, not position, so shuffling lists is a no-op."""
+        lists, item_classes, _ = case
+        rng = np.random.default_rng(0)
+        shuffled = lists.copy()
+        for row in shuffled:
+            rng.shuffle(row)
+        items = np.flatnonzero(item_classes == item_classes[0])
+        assert category_hit_ratio(lists, items) == category_hit_ratio(shuffled, items)
+
+    @given(topn_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_chr_by_category_consistency(self, case):
+        lists, item_classes, _ = case
+        num_classes = int(item_classes.max()) + 1
+        vector = chr_by_category(lists, item_classes, num_classes)
+        for cls in range(num_classes):
+            single = category_hit_ratio(lists, np.flatnonzero(item_classes == cls))
+            assert abs(vector[cls] - single) < 1e-12

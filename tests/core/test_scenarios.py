@@ -1,0 +1,93 @@
+"""Unit tests for attack scenario selection."""
+
+import pytest
+
+from repro.core import AttackScenario, make_scenario, paper_scenarios, select_scenarios
+from repro.data import men_registry, women_registry
+
+
+class TestMakeScenario:
+    def test_similarity_flag_from_registry(self):
+        registry = men_registry()
+        similar = make_scenario(registry, "sock", "running_shoe")
+        assert similar.semantically_similar
+        dissimilar = make_scenario(registry, "sock", "analog_clock")
+        assert not dissimilar.semantically_similar
+
+    def test_label(self):
+        scenario = AttackScenario("sock", "running_shoe", True)
+        assert "sock→running_shoe" in scenario.label()
+        assert "similar" in scenario.label()
+
+    def test_source_equals_target_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario(men_registry(), "sock", "sock")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            make_scenario(men_registry(), "sock", "flying_carpet")
+
+
+class TestSelectScenarios:
+    def chr_values(self):
+        registry = men_registry()
+        values = {name: 10.0 for name in registry.names}
+        values["sock"] = 2.0
+        values["running_shoe"] = 25.0
+        values["analog_clock"] = 15.0
+        return registry, values
+
+    def test_auto_source_is_lowest_chr(self):
+        registry, values = self.chr_values()
+        scenarios = select_scenarios(registry, values)
+        assert all(s.source == "sock" for s in scenarios)
+
+    def test_returns_similar_and_dissimilar(self):
+        registry, values = self.chr_values()
+        scenarios = select_scenarios(registry, values)
+        kinds = {s.semantically_similar for s in scenarios}
+        assert kinds == {True, False}
+
+    def test_targets_maximise_chr_within_kind(self):
+        registry, values = self.chr_values()
+        scenarios = select_scenarios(registry, values)
+        by_kind = {s.semantically_similar: s for s in scenarios}
+        assert by_kind[True].target == "running_shoe"
+        # highest-CHR non-footwear category
+        assert by_kind[False].target == "analog_clock"
+
+    def test_explicit_source(self):
+        registry, values = self.chr_values()
+        scenarios = select_scenarios(registry, values, source="sandal")
+        assert all(s.source == "sandal" for s in scenarios)
+
+    def test_min_ratio_filters_weak_targets(self):
+        registry = men_registry()
+        values = {name: 2.0 for name in registry.names}
+        values["sock"] = 1.9  # nothing is 1.5x higher
+        with pytest.raises(ValueError, match="popularity imbalance"):
+            select_scenarios(registry, values)
+
+    def test_missing_categories_rejected(self):
+        registry = men_registry()
+        with pytest.raises(ValueError, match="missing"):
+            select_scenarios(registry, {"sock": 1.0})
+
+
+class TestPaperScenarios:
+    def test_men(self):
+        scenarios = paper_scenarios("amazon_men_like", men_registry())
+        pairs = {(s.source, s.target) for s in scenarios}
+        assert pairs == {("sock", "running_shoe"), ("sock", "analog_clock")}
+        by_target = {s.target: s for s in scenarios}
+        assert by_target["running_shoe"].semantically_similar
+        assert not by_target["analog_clock"].semantically_similar
+
+    def test_women(self):
+        scenarios = paper_scenarios("amazon_women_like", women_registry())
+        pairs = {(s.source, s.target) for s in scenarios}
+        assert pairs == {("maillot", "brassiere"), ("maillot", "chain")}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            paper_scenarios("movielens", men_registry())

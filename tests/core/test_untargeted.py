@@ -1,0 +1,75 @@
+"""Unit tests for the untargeted-attack experiment (the [20] setting)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD
+from repro.core import TAaMRPipeline, run_untargeted_attack
+from repro.data import amazon_men_like
+from repro.features import ClassifierConfig, FeatureExtractor, train_catalog_classifier
+from repro.recommenders import VBPR, VBPRConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    ds = amazon_men_like(scale=0.003, image_size=24, seed=5)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    assert report.final_train_accuracy > 0.9
+    extractor = FeatureExtractor(model).fit(ds.images)
+    vbpr = VBPR(
+        ds.num_users, ds.num_items, extractor.transform(ds.images), VBPRConfig(epochs=30)
+    ).fit(ds.feedback)
+    return TAaMRPipeline(ds, extractor, vbpr, cutoff=50)
+
+
+@pytest.fixture(scope="module")
+def outcome(pipeline):
+    attack = PGD(pipeline.extractor.model, 24 / 255, num_steps=10, seed=0)
+    return run_untargeted_attack(pipeline, "running_shoe", attack)
+
+
+class TestUntargetedOutcome:
+    def test_misclassification_achieved(self, outcome):
+        """Untargeted PGD at a generous budget flips most images."""
+        assert outcome.misclassification_rate > 0.5
+
+    def test_rankings_evaluated_on_both_sides(self, outcome):
+        assert outcome.ranking_before.num_evaluated_users > 0
+        assert (
+            outcome.ranking_after.num_evaluated_users
+            == outcome.ranking_before.num_evaluated_users
+        )
+
+    def test_chr_recorded(self, outcome):
+        assert outcome.chr_before >= 0.0
+        assert outcome.chr_after >= 0.0
+
+    def test_attacking_popular_category_reduces_its_chr(self, outcome):
+        """Scattering a popular category's items away from their class
+        should not *increase* its CHR (contrast with targeted TAaMR)."""
+        assert outcome.chr_after <= outcome.chr_before + 1.0
+
+    def test_as_dict_keys(self, outcome):
+        d = outcome.as_dict()
+        for key in ("misclassification_rate", "hr_before", "hr_after", "chr_before"):
+            assert key in d
+
+    def test_hit_ratio_drop_property(self, outcome):
+        assert outcome.hit_ratio_drop == pytest.approx(
+            outcome.ranking_before.hit_ratio - outcome.ranking_after.hit_ratio
+        )
+
+    def test_epsilon_recorded(self, outcome):
+        assert outcome.epsilon_255 == pytest.approx(24.0)
+
+    def test_unknown_category_rejected(self, pipeline):
+        attack = PGD(pipeline.extractor.model, 8 / 255, num_steps=2, seed=0)
+        with pytest.raises(KeyError):
+            run_untargeted_attack(pipeline, "spaceship", attack)

@@ -1,0 +1,245 @@
+"""Unit tests for the real-data (McAuley Amazon format) loader."""
+
+import gzip
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.amazon import (
+    Review,
+    build_feedback_from_reviews,
+    categories_for_items,
+    load_amazon_metadata,
+    load_amazon_reviews,
+)
+
+
+def write_jsonl(path, records, compress=False):
+    opener = gzip.open if compress else open
+    with opener(path, "wt", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+@pytest.fixture()
+def review_file(tmp_path):
+    """Synthetic McAuley-format reviews: 2 heavy users + 1 cold user."""
+    records = []
+    for item in range(6):
+        records.append(
+            {"reviewerID": "alice", "asin": f"B00{item}", "overall": 5.0,
+             "unixReviewTime": 1_400_000_000 + item}
+        )
+    for item in range(5):
+        records.append({"reviewerID": "bob", "asin": f"B00{item}", "overall": 3.0})
+    records.append({"reviewerID": "carol", "asin": "B000", "overall": 1.0})
+    path = os.path.join(tmp_path, "reviews.json")
+    write_jsonl(path, records)
+    return path
+
+
+class TestLoadReviews:
+    def test_parses_records(self, review_file):
+        reviews = load_amazon_reviews(review_file)
+        assert len(reviews) == 12
+        assert reviews[0] == Review("alice", "B000", 5.0, 1_400_000_000)
+
+    def test_gzip_supported(self, tmp_path):
+        path = os.path.join(tmp_path, "reviews.json.gz")
+        write_jsonl(path, [{"reviewerID": "u", "asin": "a", "overall": 4.0}], compress=True)
+        reviews = load_amazon_reviews(path)
+        assert reviews[0].user == "u"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_amazon_reviews(os.path.join(tmp_path, "nope.json"))
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.json")
+        with open(path, "w") as handle:
+            handle.write('{"reviewerID": "u", "asin": "a", "overall": 4.0}\n')
+            handle.write("{not json}\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_amazon_reviews(path)
+
+    def test_missing_field(self, tmp_path):
+        path = os.path.join(tmp_path, "short.json")
+        write_jsonl(path, [{"reviewerID": "u", "overall": 4.0}])
+        with pytest.raises(ValueError, match="missing field"):
+            load_amazon_reviews(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = os.path.join(tmp_path, "blank.json")
+        with open(path, "w") as handle:
+            handle.write('{"reviewerID": "u", "asin": "a", "overall": 4.0}\n\n')
+        assert len(load_amazon_reviews(path)) == 1
+
+
+class TestLoadMetadata:
+    def test_parses_category_leaf_and_url(self, tmp_path):
+        path = os.path.join(tmp_path, "meta.json")
+        write_jsonl(
+            path,
+            [
+                {
+                    "asin": "B000",
+                    "categories": [["Clothing", "Men", "Socks"]],
+                    "imUrl": "http://example.com/sock.jpg",
+                }
+            ],
+        )
+        metadata = load_amazon_metadata(path)
+        assert metadata["B000"]["category"] == "Socks"
+        assert metadata["B000"]["image_url"].endswith("sock.jpg")
+
+    def test_missing_categories_default_unknown(self, tmp_path):
+        path = os.path.join(tmp_path, "meta.json")
+        write_jsonl(path, [{"asin": "B001"}])
+        assert load_amazon_metadata(path)["B001"]["category"] == "unknown"
+
+    def test_missing_asin_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "meta.json")
+        write_jsonl(path, [{"imUrl": "x"}])
+        with pytest.raises(ValueError, match="asin"):
+            load_amazon_metadata(path)
+
+
+class TestBuildFeedback:
+    def test_cold_users_dropped(self, review_file):
+        reviews = load_amazon_reviews(review_file)
+        feedback, users, items = build_feedback_from_reviews(reviews)
+        assert users == ["alice", "bob"]  # carol has 1 interaction
+        assert feedback.num_users == 2
+
+    def test_item_universe_excludes_dropped_only_items(self, tmp_path):
+        records = [
+            {"reviewerID": "cold", "asin": "LONELY", "overall": 5.0}
+        ] + [
+            {"reviewerID": "warm", "asin": f"A{i}", "overall": 5.0} for i in range(5)
+        ]
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(path, records)
+        _, _, items = build_feedback_from_reviews(load_amazon_reviews(path))
+        assert "LONELY" not in items
+
+    def test_ratings_binarised(self, review_file):
+        """A 1-star and a 5-star review both count as one interaction."""
+        reviews = load_amazon_reviews(review_file)
+        feedback, users, _ = build_feedback_from_reviews(reviews)
+        alice = users.index("alice")
+        total = len(feedback.train_items[alice]) + 1
+        assert total == 6  # six distinct items regardless of ratings
+
+    def test_leave_one_out_valid(self, review_file):
+        reviews = load_amazon_reviews(review_file)
+        feedback, _, _ = build_feedback_from_reviews(reviews)
+        feedback.validate_split()
+        assert np.all(feedback.test_items >= 0)
+
+    def test_duplicate_reviews_collapse(self, tmp_path):
+        records = [
+            {"reviewerID": "u", "asin": "A0", "overall": 5.0},
+            {"reviewerID": "u", "asin": "A0", "overall": 2.0},
+        ] + [{"reviewerID": "u", "asin": f"A{i}", "overall": 4.0} for i in range(1, 5)]
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(path, records)
+        feedback, _, items = build_feedback_from_reviews(load_amazon_reviews(path))
+        assert len(items) == 5
+
+    def test_all_cold_raises(self, tmp_path):
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(path, [{"reviewerID": "u", "asin": "a", "overall": 5.0}])
+        with pytest.raises(ValueError, match="no user"):
+            build_feedback_from_reviews(load_amazon_reviews(path))
+
+    def test_deterministic_given_seed(self, review_file):
+        reviews = load_amazon_reviews(review_file)
+        a, _, _ = build_feedback_from_reviews(reviews, seed=7)
+        b, _, _ = build_feedback_from_reviews(reviews, seed=7)
+        np.testing.assert_array_equal(a.test_items, b.test_items)
+
+    def test_min_interactions_validation(self, review_file):
+        with pytest.raises(ValueError):
+            build_feedback_from_reviews([], min_interactions=0)
+
+
+class TestCategoriesForItems:
+    def test_maps_to_dense_ids(self):
+        metadata = {
+            "A": {"category": "Socks"},
+            "B": {"category": "Shoes"},
+            "C": {"category": "Socks"},
+        }
+        ids, names = categories_for_items(["A", "B", "C"], metadata)
+        assert names == ["Shoes", "Socks"]
+        np.testing.assert_array_equal(ids, [1, 0, 1])
+
+    def test_unknown_item_gets_unknown_category(self):
+        ids, names = categories_for_items(["MISSING"], {})
+        assert names == ["unknown"]
+        assert ids[0] == 0
+
+    def test_pinned_category_order(self):
+        metadata = {"A": {"category": "Socks"}}
+        ids, names = categories_for_items(["A"], metadata, ["Shoes", "Socks"])
+        assert ids[0] == 1
+        assert names == ["Shoes", "Socks"]
+
+    def test_pinned_order_missing_category_raises(self):
+        metadata = {"A": {"category": "Hats"}}
+        with pytest.raises(KeyError):
+            categories_for_items(["A"], metadata, ["Shoes", "Socks"])
+
+
+class TestTemporalHoldout:
+    def test_latest_interaction_held_out(self, tmp_path):
+        records = [
+            {"reviewerID": "u", "asin": f"A{i}", "overall": 5.0,
+             "unixReviewTime": 1_000_000 + i}
+            for i in range(5)
+        ]
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(path, records)
+        feedback, _, items = build_feedback_from_reviews(
+            load_amazon_reviews(path), holdout="latest"
+        )
+        assert items[feedback.test_items[0]] == "A4"  # the newest review
+
+    def test_duplicate_reviews_use_max_timestamp(self, tmp_path):
+        records = [
+            {"reviewerID": "u", "asin": "OLDNEW", "overall": 5.0, "unixReviewTime": 10},
+        ] + [
+            {"reviewerID": "u", "asin": f"A{i}", "overall": 5.0, "unixReviewTime": 100 + i}
+            for i in range(4)
+        ] + [
+            # A second, much later review of the same item.
+            {"reviewerID": "u", "asin": "OLDNEW", "overall": 1.0, "unixReviewTime": 999},
+        ]
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(path, records)
+        feedback, _, items = build_feedback_from_reviews(
+            load_amazon_reviews(path), holdout="latest"
+        )
+        assert items[feedback.test_items[0]] == "OLDNEW"
+
+    def test_invalid_holdout_mode(self, tmp_path):
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(
+            path,
+            [{"reviewerID": "u", "asin": f"A{i}", "overall": 4.0} for i in range(5)],
+        )
+        with pytest.raises(ValueError, match="holdout"):
+            build_feedback_from_reviews(load_amazon_reviews(path), holdout="newest")
+
+    def test_random_mode_still_deterministic(self, tmp_path):
+        path = os.path.join(tmp_path, "r.json")
+        write_jsonl(
+            path,
+            [{"reviewerID": "u", "asin": f"A{i}", "overall": 4.0} for i in range(6)],
+        )
+        reviews = load_amazon_reviews(path)
+        a, _, _ = build_feedback_from_reviews(reviews, seed=3, holdout="random")
+        b, _, _ = build_feedback_from_reviews(reviews, seed=3, holdout="random")
+        np.testing.assert_array_equal(a.test_items, b.test_items)

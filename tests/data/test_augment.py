@@ -1,0 +1,139 @@
+"""Unit tests for image augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    AugmentationPipeline,
+    default_augmentation,
+    random_brightness,
+    random_crop_with_pad,
+    random_gaussian_noise,
+    random_horizontal_flip,
+)
+
+RNG_SEED = 0
+
+
+def batch(n=6, size=8):
+    return np.random.default_rng(1).random((n, 3, size, size))
+
+
+class TestFlip:
+    def test_probability_one_flips_everything(self):
+        images = batch()
+        out = random_horizontal_flip(1.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_probability_zero_identity(self):
+        images = batch()
+        out = random_horizontal_flip(0.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_does_not_mutate_input(self):
+        images = batch()
+        original = images.copy()
+        random_horizontal_flip(1.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(images, original)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(1.5)
+
+
+class TestCrop:
+    def test_output_shape_preserved(self):
+        images = batch()
+        out = random_crop_with_pad(2)(images, np.random.default_rng(0))
+        assert out.shape == images.shape
+
+    def test_zero_pad_identity(self):
+        images = batch()
+        out = random_crop_with_pad(0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_content_is_shifted_window(self):
+        """Some inner region of the original must survive the crop."""
+        images = batch(n=1, size=8)
+        out = random_crop_with_pad(1)(images, np.random.default_rng(3))
+        # The centre 6x6 of the output appears somewhere in the padded input.
+        inner = out[0, :, 1:7, 1:7]
+        found = any(
+            np.allclose(inner, images[0, :, y : y + 6, x : x + 6])
+            for y in range(3)
+            for x in range(3)
+        )
+        assert found
+
+    def test_negative_pad(self):
+        with pytest.raises(ValueError):
+            random_crop_with_pad(-1)
+
+
+class TestBrightnessAndNoise:
+    def test_brightness_bounded(self):
+        images = batch()
+        out = random_brightness(0.2)(images, np.random.default_rng(0))
+        assert np.abs(out - images).max() <= 0.2 + 1e-12
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_noise_zero_sigma_identity(self):
+        images = batch()
+        out = random_gaussian_noise(0.0)(images, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, images)
+
+    def test_noise_changes_pixels(self):
+        images = batch()
+        out = random_gaussian_noise(0.05)(images, np.random.default_rng(0))
+        assert not np.allclose(out, images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_brightness(-0.1)
+        with pytest.raises(ValueError):
+            random_gaussian_noise(-0.1)
+
+
+class TestPipeline:
+    def test_deterministic_given_seed(self):
+        images = batch()
+        a = default_augmentation(seed=7)(images)
+        b = default_augmentation(seed=7)(images)
+        np.testing.assert_array_equal(a, b)
+
+    def test_reset_restores_stream(self):
+        pipeline = default_augmentation(seed=7)
+        images = batch()
+        first = pipeline(images)
+        pipeline.reset()
+        np.testing.assert_array_equal(pipeline(images), first)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            default_augmentation()(np.zeros((3, 8, 8)))
+
+    def test_output_in_valid_range(self):
+        out = default_augmentation()(batch())
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_empty_transform_list_is_identity(self):
+        images = batch()
+        np.testing.assert_array_equal(AugmentationPipeline([], seed=0)(images), images)
+
+
+class TestTrainerIntegration:
+    def test_augmented_training_runs_and_learns(self):
+        from repro.data import tiny_dataset
+        from repro.features import ClassifierConfig, train_catalog_classifier
+
+        ds = tiny_dataset(seed=0, image_size=16)
+        model, report = train_catalog_classifier(
+            ds.images,
+            ds.item_categories,
+            ds.num_categories,
+            widths=(8, 16),
+            blocks_per_stage=(1, 1),
+            config=ClassifierConfig(epochs=10, batch_size=16, augment=True, seed=0),
+        )
+        assert report.train_losses[-1] < report.train_losses[0]
+        assert report.final_train_accuracy > 0.5

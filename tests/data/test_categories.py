@@ -1,0 +1,80 @@
+"""Unit tests for the category registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import CategoryRegistry, men_registry, women_registry
+from repro.data.categories import Category
+
+
+class TestCategory:
+    def test_frozen(self):
+        cat = Category(0, "sock", 0.1, "footwear")
+        with pytest.raises(AttributeError):
+            cat.name = "other"
+
+    def test_positive_popularity_required(self):
+        with pytest.raises(ValueError):
+            Category(0, "sock", 0.0, "footwear")
+
+
+class TestRegistry:
+    def test_men_registry_has_paper_scenario_classes(self):
+        names = men_registry().names
+        for required in ("sock", "running_shoe", "analog_clock", "jersey_tshirt"):
+            assert required in names
+
+    def test_women_registry_has_paper_scenario_classes(self):
+        names = women_registry().names
+        for required in ("maillot", "brassiere", "chain"):
+            assert required in names
+
+    def test_ids_are_positional(self):
+        registry = men_registry()
+        for idx, category in enumerate(registry):
+            assert category.category_id == idx
+            assert registry[idx] is category
+
+    def test_by_name(self):
+        registry = men_registry()
+        assert registry.by_name("sock").name == "sock"
+
+    def test_by_name_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="unknown category"):
+            men_registry().by_name("hat")
+
+    def test_popularity_vector_normalised(self):
+        vector = men_registry().popularity_vector()
+        assert sum(vector) == pytest.approx(1.0)
+        assert all(v > 0 for v in vector)
+
+    def test_source_classes_are_unpopular(self):
+        """The paper's attack premise: sources are low-recommended."""
+        men = men_registry()
+        vec = men.popularity_vector()
+        assert vec[men.by_name("sock").category_id] < vec[men.by_name("running_shoe").category_id]
+        women = women_registry()
+        vec = women.popularity_vector()
+        assert (
+            vec[women.by_name("maillot").category_id]
+            < vec[women.by_name("brassiere").category_id]
+        )
+
+    def test_semantic_similarity_matches_paper_scenarios(self):
+        men = men_registry()
+        assert men.semantically_similar("sock", "running_shoe")  # similar scenario
+        assert not men.semantically_similar("sock", "analog_clock")  # dissimilar
+        women = women_registry()
+        assert women.semantically_similar("maillot", "brassiere")
+        assert not women.semantically_similar("maillot", "chain")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CategoryRegistry((("a", 1.0, "g"), ("a", 2.0, "g")))
+
+    def test_rejects_single_category(self):
+        with pytest.raises(ValueError):
+            CategoryRegistry((("a", 1.0, "g"),))
+
+    def test_len(self):
+        assert len(men_registry()) == 8

@@ -1,0 +1,74 @@
+"""Unit tests for dataset save/load round-trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.data.serialization import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=3, image_size=16)
+
+
+class TestRoundTrip:
+    def test_images_and_categories_identical(self, dataset, tmp_path):
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.images, dataset.images)
+        np.testing.assert_array_equal(loaded.item_categories, dataset.item_categories)
+        assert loaded.name == dataset.name
+
+    def test_feedback_identical(self, dataset, tmp_path):
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(
+            loaded.feedback.test_items, dataset.feedback.test_items
+        )
+        for a, b in zip(loaded.feedback.train_items, dataset.feedback.train_items):
+            np.testing.assert_array_equal(a, b)
+        loaded.feedback.validate_split()
+
+    def test_registry_preserved(self, dataset, tmp_path):
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.registry.names == dataset.registry.names
+        assert loaded.registry.semantically_similar("sock", "running_shoe")
+
+    def test_stats_preserved(self, dataset, tmp_path):
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        assert load_dataset(path).stats() == dataset.stats()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(os.path.join(tmp_path, "nope.npz"))
+
+    def test_version_check(self, dataset, tmp_path):
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["format_version"] = np.array(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+    def test_loaded_dataset_usable_downstream(self, dataset, tmp_path):
+        """The round-tripped dataset must drive the pipeline unchanged."""
+        from repro.recommenders import BPRMF, BPRMFConfig, evaluate_ranking
+
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        model = BPRMF(
+            loaded.num_users, loaded.num_items, BPRMFConfig(epochs=2, seed=0)
+        ).fit(loaded.feedback)
+        report = evaluate_ranking(model, loaded.feedback, cutoff=10)
+        assert report.num_evaluated_users == loaded.num_users

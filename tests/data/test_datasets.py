@@ -1,0 +1,99 @@
+"""Unit tests for dataset assembly and paper-like presets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MultimediaDataset,
+    PAPER_SIZES,
+    amazon_men_like,
+    amazon_women_like,
+    build_dataset,
+    men_registry,
+    tiny_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return tiny_dataset(seed=0, image_size=16)
+
+
+class TestBuildDataset:
+    def test_tiny_shapes(self, tiny):
+        assert tiny.num_users == 40
+        assert tiny.num_items == 64
+        assert tiny.images.shape == (64, 3, 16, 16)
+        assert tiny.item_categories.shape == (64,)
+
+    def test_every_category_has_items(self, tiny):
+        counts = tiny.category_item_counts()
+        assert all(count >= 2 for count in counts.values())
+
+    def test_items_in_category(self, tiny):
+        socks = tiny.items_in_category("sock")
+        sock_id = tiny.registry.by_name("sock").category_id
+        assert np.all(tiny.item_categories[socks] == sock_id)
+        assert socks.size == tiny.category_item_counts()["sock"]
+
+    def test_stats_fields(self, tiny):
+        stats = tiny.stats()
+        assert stats["users"] == 40
+        assert stats["items"] == 64
+        assert stats["interactions"] >= 5 * 40
+        assert 0 < stats["density"] < 1
+        assert stats["interactions_per_user"] >= 5
+
+    def test_deterministic(self):
+        a = tiny_dataset(seed=7, image_size=16)
+        b = tiny_dataset(seed=7, image_size=16)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.item_categories, b.item_categories)
+
+    def test_validation_catches_mismatches(self, tiny):
+        with pytest.raises(ValueError):
+            MultimediaDataset(
+                name="broken",
+                registry=tiny.registry,
+                item_categories=tiny.item_categories[:-1],
+                images=tiny.images,
+                feedback=tiny.feedback,
+            )
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset("x", men_registry(), num_users=0, num_items=10)
+
+
+class TestPaperPresets:
+    def test_men_scales_paper_sizes(self):
+        ds = amazon_men_like(scale=0.003, image_size=16)
+        assert ds.num_users == int(PAPER_SIZES["amazon_men"]["users"] * 0.003)
+        assert ds.num_items == int(PAPER_SIZES["amazon_men"]["items"] * 0.003)
+
+    def test_women_uses_women_registry(self):
+        ds = amazon_women_like(scale=0.002, image_size=16)
+        assert "maillot" in ds.registry.names
+        assert "brassiere" in ds.registry.names
+
+    def test_interactions_per_user_near_paper(self):
+        """Paper: |S|/|U| ≈ 7.4 (men), 7.45 (women)."""
+        ds = amazon_men_like(scale=0.005, image_size=16)
+        per_user = ds.stats()["interactions_per_user"]
+        assert 5.5 < per_user < 10.0
+
+    def test_men_dataset_sparsity_shape(self):
+        """Synthetic data must stay sparse like the paper's (density << 1%)."""
+        ds = amazon_men_like(scale=0.01, image_size=16)
+        assert ds.stats()["density"] < 0.05
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            amazon_men_like(scale=0.0)
+        with pytest.raises(ValueError):
+            amazon_women_like(scale=-1.0)
+
+    def test_minimum_floor_sizes(self):
+        ds = amazon_men_like(scale=1e-9, image_size=16)
+        assert ds.num_users >= 8
+        assert ds.num_items >= 24

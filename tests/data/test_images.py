@@ -1,0 +1,97 @@
+"""Unit tests for the procedural product-image generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import MOTIFS, ProductImageGenerator, men_registry, women_registry
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ProductImageGenerator(men_registry(), image_size=24, seed=1)
+
+
+class TestRendering:
+    def test_output_shape_and_range(self, generator):
+        image = generator.render("sock", item_seed=0)
+        assert image.shape == (3, 24, 24)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+        assert image.dtype == np.float64
+
+    def test_deterministic_per_seed(self, generator):
+        a = generator.render("sock", item_seed=5)
+        b = generator.render("sock", item_seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, generator):
+        a = generator.render("sock", item_seed=1)
+        b = generator.render("sock", item_seed=2)
+        assert not np.allclose(a, b)
+
+    def test_every_registered_category_has_motif(self):
+        for registry in (men_registry(), women_registry()):
+            for category in registry:
+                assert category.name in MOTIFS
+
+    def test_all_motifs_render_nonempty_foreground(self, generator):
+        """Every motif must actually draw something distinguishable."""
+        for name in men_registry().names:
+            image = generator.render(name, item_seed=0)
+            # Foreground coverage: enough pixels deviate from the background.
+            spread = image.std()
+            assert spread > 0.05, f"motif '{name}' renders a near-blank image"
+
+    def test_categories_are_visually_distinct(self, generator):
+        """Mean images of different categories should differ markedly."""
+        means = {
+            name: np.stack(
+                [generator.render(name, seed) for seed in range(8)]
+            ).mean(axis=0)
+            for name in ("sock", "running_shoe", "analog_clock")
+        }
+        for a in means:
+            for b in means:
+                if a < b:
+                    diff = np.abs(means[a] - means[b]).mean()
+                    assert diff > 0.02, f"{a} vs {b} look identical"
+
+    def test_render_category_batch(self, generator):
+        batch = generator.render_category_batch("jeans", 5)
+        assert batch.shape == (5, 3, 24, 24)
+
+    def test_render_category_batch_empty(self, generator):
+        assert generator.render_category_batch("jeans", 0).shape == (0, 3, 24, 24)
+
+    def test_render_category_batch_negative_raises(self, generator):
+        with pytest.raises(ValueError):
+            generator.render_category_batch("jeans", -1)
+
+    def test_render_items_uses_item_index_as_seed(self, generator):
+        categories = np.array([0, 0, 1])
+        images = generator.render_items(categories)
+        assert images.shape == (3, 3, 24, 24)
+        # item 0 and item 1 share a category but differ (different seeds)
+        assert not np.allclose(images[0], images[1])
+
+
+class TestValidation:
+    def test_unknown_category_in_registry_raises(self):
+        from repro.data.categories import CategoryRegistry
+
+        registry = CategoryRegistry((("mystery", 1.0, "x"), ("sock", 1.0, "y")))
+        with pytest.raises(ValueError, match="mystery"):
+            ProductImageGenerator(registry)
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValueError):
+            ProductImageGenerator(men_registry(), image_size=4)
+
+    def test_bad_noise_level_raises(self):
+        with pytest.raises(ValueError):
+            ProductImageGenerator(men_registry(), noise_level=0.9)
+
+    def test_zero_noise_supported(self):
+        generator = ProductImageGenerator(men_registry(), image_size=16, noise_level=0.0)
+        image = generator.render("sock", 0)
+        assert np.isfinite(image).all()

@@ -1,0 +1,82 @@
+"""Property-based tests for the feedback generator and BPR sampler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import generate_feedback
+from repro.recommenders import BPRTripletSampler
+
+
+@st.composite
+def feedback_case(draw):
+    num_categories = draw(st.integers(2, 5))
+    items_per_category = draw(st.integers(3, 8))
+    item_categories = np.repeat(np.arange(num_categories), items_per_category)
+    raw = [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(num_categories)]
+    total = sum(raw)
+    popularity = [value / total for value in raw]
+    num_users = draw(st.integers(2, 15))
+    seed = draw(st.integers(0, 2 ** 31))
+    return item_categories, popularity, num_users, seed
+
+
+class TestFeedbackProperties:
+    @given(feedback_case())
+    @settings(max_examples=30, deadline=None)
+    def test_minimum_interactions_filter(self, case):
+        item_categories, popularity, num_users, seed = case
+        fb = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        for user in range(num_users):
+            total = len(fb.train_items[user]) + (1 if fb.test_items[user] >= 0 else 0)
+            assert total >= min(5, fb.num_items)
+
+    @given(feedback_case())
+    @settings(max_examples=30, deadline=None)
+    def test_leave_one_out_disjointness(self, case):
+        item_categories, popularity, num_users, seed = case
+        fb = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        fb.validate_split()  # raises on leakage
+
+    @given(feedback_case())
+    @settings(max_examples=30, deadline=None)
+    def test_item_ids_in_range(self, case):
+        item_categories, popularity, num_users, seed = case
+        fb = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        for items in fb.train_items:
+            if items.size:
+                assert items.min() >= 0
+                assert items.max() < fb.num_items
+
+    @given(feedback_case())
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_consistent_with_counts(self, case):
+        item_categories, popularity, num_users, seed = case
+        fb = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        matrix = fb.to_dense_matrix()
+        assert matrix.sum() == fb.num_train_interactions
+        np.testing.assert_array_equal(matrix.sum(axis=0), fb.item_interaction_counts())
+
+    @given(feedback_case())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, case):
+        item_categories, popularity, num_users, seed = case
+        a = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        b = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        np.testing.assert_array_equal(a.test_items, b.test_items)
+
+
+class TestSamplerProperties:
+    @given(feedback_case(), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_triplets_valid(self, case, batch_size):
+        item_categories, popularity, num_users, seed = case
+        fb = generate_feedback(item_categories, popularity, num_users, seed=seed)
+        sampler = BPRTripletSampler(fb, seed=seed)
+        users, positives, negatives = sampler.sample(batch_size)
+        positive_sets = fb.positive_sets()
+        for u, i, j in zip(users, positives, negatives):
+            assert 0 <= u < fb.num_users
+            assert i in positive_sets[u]
+            if len(positive_sets[u]) < fb.num_items:
+                assert j not in positive_sets[u]

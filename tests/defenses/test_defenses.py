@@ -1,0 +1,129 @@
+"""Unit tests for adversarial training and defensive distillation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD
+from repro.data import amazon_men_like
+from repro.defenses import (
+    AdversarialTrainer,
+    AdversarialTrainingConfig,
+    DistillationConfig,
+    distill,
+    soft_labels,
+)
+from repro.features import ClassifierConfig, train_catalog_classifier
+from repro.nn import TinyResNet
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = amazon_men_like(scale=0.002, image_size=16, seed=4)
+    model, _ = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=12, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    return ds, model
+
+
+class TestAdversarialTraining:
+    def test_improves_robust_accuracy(self, setup):
+        ds, _ = setup
+        eps = 12 / 255
+
+        # Baseline: standard training, measure PGD-robust accuracy.
+        baseline, _ = train_catalog_classifier(
+            ds.images,
+            ds.item_categories,
+            ds.num_categories,
+            widths=(8, 16),
+            blocks_per_stage=(1, 1),
+            config=ClassifierConfig(epochs=8, batch_size=32, learning_rate=0.08, seed=1),
+        )
+        attack = PGD(baseline, eps, num_steps=5, seed=0)
+        result = attack.attack(ds.images, true_labels=ds.item_categories)
+        baseline_robust = (result.adversarial_predictions == ds.item_categories).mean()
+
+        robust_model = TinyResNet(
+            ds.num_categories, widths=(8, 16), blocks_per_stage=(1, 1), seed=1
+        )
+        history = AdversarialTrainer(
+            robust_model,
+            AdversarialTrainingConfig(
+                epochs=8, batch_size=32, epsilon=eps, attack_steps=3, seed=1
+            ),
+        ).fit(ds.images, ds.item_categories)
+        assert history["adversarial_accuracy"][-1] > baseline_robust
+
+    def test_history_fields(self, setup):
+        ds, _ = setup
+        model = TinyResNet(ds.num_categories, widths=(8,), blocks_per_stage=(1,), seed=0)
+        history = AdversarialTrainer(
+            model, AdversarialTrainingConfig(epochs=2, attack_steps=2)
+        ).fit(ds.images[:40], ds.item_categories[:40])
+        assert len(history["loss"]) == 2
+        assert 0.0 <= history["clean_accuracy"][-1] <= 1.0
+        assert 0.0 <= history["adversarial_accuracy"][-1] <= 1.0
+
+    def test_validation(self, setup):
+        ds, _ = setup
+        model = TinyResNet(ds.num_categories, widths=(8,), blocks_per_stage=(1,))
+        trainer = AdversarialTrainer(model, AdversarialTrainingConfig(epochs=1))
+        with pytest.raises(ValueError):
+            trainer.fit(ds.images[:4], ds.item_categories[:3])
+        with pytest.raises(ValueError):
+            AdversarialTrainingConfig(adversarial_weight=2.0)
+        with pytest.raises(ValueError):
+            AdversarialTrainingConfig(epsilon=3.0)
+        with pytest.raises(ValueError):
+            AdversarialTrainingConfig(attack_steps=0)
+
+
+class TestDistillation:
+    def test_soft_labels_are_distributions(self, setup):
+        ds, model = setup
+        probs = soft_labels(model, ds.images[:10], temperature=10.0)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-10)
+
+    def test_higher_temperature_softer(self, setup):
+        ds, model = setup
+        sharp = soft_labels(model, ds.images[:10], temperature=1.0)
+        soft = soft_labels(model, ds.images[:10], temperature=20.0)
+        assert soft.max() < sharp.max() + 1e-12
+        assert soft.max(axis=1).mean() < sharp.max(axis=1).mean()
+
+    def test_invalid_temperature(self, setup):
+        ds, model = setup
+        with pytest.raises(ValueError):
+            soft_labels(model, ds.images[:2], temperature=0.0)
+        with pytest.raises(ValueError):
+            DistillationConfig(temperature=-1.0)
+
+    def test_student_matches_teacher_architecture(self, setup):
+        ds, model = setup
+        student, losses = distill(
+            model, ds.images, DistillationConfig(epochs=3, temperature=5.0)
+        )
+        assert student.num_classes == model.num_classes
+        assert student.feature_dim == model.feature_dim
+        assert len(losses) == 3
+        assert losses[-1] < losses[0]
+
+    def test_student_learns_teacher_predictions(self, setup):
+        ds, model = setup
+        student, _ = distill(
+            model, ds.images, DistillationConfig(epochs=10, temperature=5.0)
+        )
+        teacher_preds = model.predict(ds.images)
+        student_preds = student.predict(ds.images)
+        agreement = (teacher_preds == student_preds).mean()
+        assert agreement > 0.7
+
+    def test_rejects_bad_images(self, setup):
+        _, model = setup
+        with pytest.raises(ValueError):
+            distill(model, np.zeros((4, 3, 8)), DistillationConfig(epochs=1))

@@ -1,0 +1,112 @@
+"""Unit tests for the feature-squeezing defense."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD, epsilon_from_255
+from repro.data import amazon_men_like
+from repro.defenses import FeatureSqueezer, median_smooth, reduce_bit_depth
+from repro.features import ClassifierConfig, train_catalog_classifier
+
+RNG = np.random.default_rng(4)
+
+
+class TestBitDepth:
+    def test_quantises_to_levels(self):
+        images = RNG.random((2, 3, 4, 4))
+        out = reduce_bit_depth(images, bits=1)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_eight_bits_near_identity(self):
+        images = RNG.random((1, 3, 4, 4))
+        out = reduce_bit_depth(images, bits=8)
+        assert np.abs(out - images).max() <= 1.0 / (2 * 255)
+
+    def test_idempotent(self):
+        images = RNG.random((1, 3, 4, 4))
+        once = reduce_bit_depth(images, bits=3)
+        np.testing.assert_allclose(reduce_bit_depth(once, bits=3), once)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduce_bit_depth(np.zeros((1, 1, 2, 2)), bits=0)
+        with pytest.raises(ValueError):
+            reduce_bit_depth(np.zeros((1, 1, 2, 2)), bits=9)
+
+
+class TestMedianSmooth:
+    def test_removes_salt_noise(self):
+        images = np.full((1, 1, 8, 8), 0.5)
+        images[0, 0, 4, 4] = 1.0  # single outlier pixel
+        out = median_smooth(images, kernel=3)
+        assert out[0, 0, 4, 4] == pytest.approx(0.5)
+
+    def test_constant_image_unchanged(self):
+        images = np.full((2, 3, 6, 6), 0.3)
+        np.testing.assert_allclose(median_smooth(images), images)
+
+    def test_shape_preserved(self):
+        images = RNG.random((2, 3, 7, 9))
+        assert median_smooth(images, kernel=3).shape == images.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median_smooth(np.zeros((1, 1, 4, 4)), kernel=2)
+        with pytest.raises(ValueError):
+            median_smooth(np.zeros((4, 4)), kernel=3)
+
+
+class TestFeatureSqueezer:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        ds = amazon_men_like(scale=0.0025, image_size=24, seed=1)
+        model, _ = train_catalog_classifier(
+            ds.images,
+            ds.item_categories,
+            ds.num_categories,
+            widths=(8, 16),
+            blocks_per_stage=(1, 1),
+            config=ClassifierConfig(epochs=20, batch_size=32, learning_rate=0.08, seed=0),
+        )
+        return ds, model
+
+    def test_requires_one_squeezer(self):
+        with pytest.raises(ValueError):
+            FeatureSqueezer(bits=None, median_kernel=None)
+
+    def test_clean_predictions_mostly_survive(self, trained):
+        ds, model = trained
+        squeezer = FeatureSqueezer(bits=5, median_kernel=3)
+        raw = model.predict(ds.images[:40])
+        squeezed = squeezer.predict(model, ds.images[:40])
+        assert (raw == squeezed).mean() > 0.7
+
+    def test_detection_scores_higher_for_adversarial(self, trained):
+        """The core feature-squeezing claim: attacked inputs disagree more."""
+        ds, model = trained
+        socks = ds.items_in_category("sock")[:10]
+        target = ds.registry.by_name("running_shoe").category_id
+        attack = PGD(model, epsilon_from_255(32), num_steps=10, seed=0)
+        adversarial = attack.attack(ds.images[socks], target_class=target)
+
+        squeezer = FeatureSqueezer(bits=4, median_kernel=3)
+        clean_scores = squeezer.detection_scores(model, ds.images[socks])
+        attacked_scores = squeezer.detection_scores(
+            model, adversarial.adversarial_images
+        )
+        assert attacked_scores.mean() > clean_scores.mean()
+
+    def test_squeezing_reduces_attack_success(self, trained):
+        """Squeezing before extraction blunts part of the perturbation."""
+        ds, model = trained
+        socks = ds.items_in_category("sock")[:10]
+        target = ds.registry.by_name("running_shoe").category_id
+        attack = PGD(model, epsilon_from_255(32), num_steps=10, seed=0)
+        adversarial = attack.attack(ds.images[socks], target_class=target)
+        raw_success = (adversarial.adversarial_predictions == target).mean()
+
+        squeezer = FeatureSqueezer(bits=4, median_kernel=3)
+        squeezed_success = (
+            squeezer.predict(model, adversarial.adversarial_images) == target
+        ).mean()
+        assert squeezed_success <= raw_success

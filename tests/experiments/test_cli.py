@@ -1,0 +1,121 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--scale", "0.002",
+    "--seed", "0",
+    "--quiet",
+]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.attack == "pgd"
+        assert args.eps == 8.0
+        assert args.model == "vbpr"
+
+    def test_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--dataset", "movies"])
+
+    def test_attack_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--attack", "deepfool"])
+
+
+class TestStatsCommand:
+    def test_prints_table1(self, capsys):
+        code = main(["stats", "--dataset", "men", "--scale", "0.002"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "amazon_men_like" in out
+        assert "sock" in out
+
+    def test_women_dataset(self, capsys):
+        code = main(["stats", "--dataset", "women", "--scale", "0.002"])
+        assert code == 0
+        assert "maillot" in capsys.readouterr().out
+
+
+class TestTrainCommand:
+    def test_reports_metrics(self, capsys, monkeypatch):
+        self._shrink_training(monkeypatch)
+        code = main(["train", "--dataset", "men", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classifier accuracy" in out
+        assert "VBPR" in out and "AMR" in out
+
+    @staticmethod
+    def _shrink_training(monkeypatch):
+        """Make CLI runs affordable for unit tests."""
+        import repro.cli as cli
+        from repro.experiments import men_config
+
+        def tiny_config(args):
+            return men_config(
+                scale=args.scale,
+                seed=args.seed,
+                image_size=16,
+                classifier_epochs=4,
+                recommender_epochs=4,
+                amr_pretrain_epochs=2,
+            )
+
+        monkeypatch.setattr(cli, "_make_config", tiny_config)
+
+
+class TestAttackCommand:
+    def test_end_to_end(self, capsys, monkeypatch, tmp_path):
+        TestTrainCommand._shrink_training(monkeypatch)
+        png = os.path.join(tmp_path, "grid.png")
+        code = main(
+            [
+                "attack",
+                "--dataset", "men",
+                *FAST,
+                "--attack", "fgsm",
+                "--eps", "8",
+                "--cutoff", "20",
+                "--save-images", png,
+                "--num-images", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+        assert "CHR@20" in out
+        assert os.path.exists(png)
+
+    def test_unknown_category_is_graceful(self, capsys, monkeypatch):
+        TestTrainCommand._shrink_training(monkeypatch)
+        code = main(
+            ["attack", "--dataset", "men", *FAST, "--source", "flying_carpet"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTablesCommand:
+    def test_prints_all_tables(self, capsys, monkeypatch):
+        TestTrainCommand._shrink_training(monkeypatch)
+        import repro.experiments.runner as runner
+
+        runner.clear_grid_cache()
+        code = main(["tables", "--dataset", "men", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "Table IV" in out

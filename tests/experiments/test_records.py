@@ -1,0 +1,70 @@
+"""Unit tests for JSON experiment records."""
+
+import os
+
+import pytest
+
+from repro.experiments import build_context, men_config, run_attack_grid
+from repro.experiments.records import (
+    OutcomeRecord,
+    grid_to_records,
+    load_records,
+    save_records,
+)
+
+TINY = dict(
+    scale=0.002,
+    image_size=16,
+    classifier_epochs=6,
+    recommender_epochs=4,
+    amr_pretrain_epochs=2,
+    cutoff=20,
+    epsilons_255=(8.0,),
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    context = build_context(men_config(**TINY))
+    return context, run_attack_grid(context, "VBPR")
+
+
+class TestRecords:
+    def test_flattening_covers_all_outcomes(self, grid):
+        _, attack_grid = grid
+        records = grid_to_records(attack_grid)
+        assert len(records) == len(attack_grid.outcomes)
+        assert all(isinstance(rec, OutcomeRecord) for rec in records)
+        assert all(rec.recommender == "VBPR" for rec in records)
+
+    def test_roundtrip(self, grid, tmp_path):
+        context, attack_grid = grid
+        path = os.path.join(tmp_path, "results.json")
+        save_records([attack_grid], context.config, path)
+        payload = load_records(path)
+        assert payload["config_hash"] == context.config.cache_key()
+        assert payload["dataset"] == "amazon_men_like"
+        assert len(payload["outcomes"]) == len(attack_grid.outcomes)
+        first = payload["outcomes"][0]
+        assert first.source == attack_grid.outcomes[0].scenario.source
+        assert first.success_rate == pytest.approx(
+            attack_grid.outcomes[0].success_rate
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_records(os.path.join(tmp_path, "nope.json"))
+
+    def test_version_check(self, grid, tmp_path):
+        import json
+
+        context, attack_grid = grid
+        path = os.path.join(tmp_path, "results.json")
+        save_records([attack_grid], context.config, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["record_version"] = 99
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="version"):
+            load_records(path)

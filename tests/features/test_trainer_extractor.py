@@ -1,0 +1,140 @@
+"""Unit tests for classifier training and feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.features import (
+    ClassifierConfig,
+    ClassifierTrainer,
+    FeatureExtractor,
+    recalibrate_batchnorm,
+    train_catalog_classifier,
+)
+from repro.nn import TinyResNet
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = tiny_dataset(seed=0, image_size=16)
+    model, report = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=18, batch_size=16, learning_rate=0.08, seed=0),
+    )
+    return ds, model, report
+
+
+class TestClassifierTrainer:
+    def test_loss_decreases(self, trained):
+        _, _, report = trained
+        assert report.train_losses[-1] < report.train_losses[0]
+
+    def test_reaches_high_train_accuracy(self, trained):
+        _, _, report = trained
+        assert report.final_train_accuracy > 0.9
+
+    def test_early_stop_respects_target(self, trained):
+        _, _, report = trained
+        assert report.epochs_run <= 18
+
+    def test_eval_accuracy_populated_when_eval_given(self):
+        ds = tiny_dataset(seed=1, image_size=16)
+        model = TinyResNet(ds.num_categories, widths=(8,), blocks_per_stage=(1,), seed=0)
+        trainer = ClassifierTrainer(model, ClassifierConfig(epochs=2, batch_size=16))
+        report = trainer.fit(
+            ds.images, ds.item_categories, ds.images[:10], ds.item_categories[:10]
+        )
+        assert 0.0 <= report.final_eval_accuracy <= 1.0
+
+    def test_rejects_bad_shapes(self):
+        model = TinyResNet(4, widths=(8,), blocks_per_stage=(1,))
+        trainer = ClassifierTrainer(model, ClassifierConfig(epochs=1))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 3, 8)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 3, 8, 8)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 3, 8, 8)), np.array([0, 1, 2, 9]))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(epochs=0)
+        with pytest.raises(ValueError):
+            ClassifierConfig(target_accuracy=0.0)
+
+    def test_recalibrate_batchnorm_improves_eval_consistency(self):
+        ds = tiny_dataset(seed=2, image_size=16)
+        model = TinyResNet(ds.num_categories, widths=(8, 16), blocks_per_stage=(1, 1), seed=1)
+        config = ClassifierConfig(epochs=6, batch_size=8, learning_rate=0.08, cosine_schedule=False)
+        ClassifierTrainer(model, config).fit(ds.images, ds.item_categories)
+        # After fit (which recalibrates), eval-mode accuracy should be close
+        # to the train-mode accuracy the optimizer saw.
+        probs = model.predict_proba(ds.images)
+        eval_acc = (probs.argmax(axis=1) == ds.item_categories).mean()
+        assert eval_acc > 0.7
+
+    def test_recalibrate_on_model_without_bn_is_noop(self):
+        from repro.nn import Linear
+
+        layer = Linear(4, 2)
+        recalibrate_batchnorm(layer, np.zeros((2, 4)))  # must not raise
+
+
+class TestFeatureExtractor:
+    def test_fit_transform_shapes(self, trained):
+        ds, model, _ = trained
+        extractor = FeatureExtractor(model)
+        features = extractor.fit_transform(ds.images)
+        assert features.shape == (ds.num_items, model.feature_dim)
+
+    def test_standardised_features_centered(self, trained):
+        ds, model, _ = trained
+        features = FeatureExtractor(model, standardize=True).fit_transform(ds.images)
+        np.testing.assert_allclose(features.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_transform_before_fit_raises(self, trained):
+        ds, model, _ = trained
+        extractor = FeatureExtractor(model, standardize=True)
+        with pytest.raises(RuntimeError):
+            extractor.transform(ds.images[:2])
+
+    def test_no_standardize_passthrough(self, trained):
+        ds, model, _ = trained
+        extractor = FeatureExtractor(model, standardize=False)
+        assert extractor.is_fitted
+        features = extractor.transform(ds.images[:4])
+        raw = model.extract_features(ds.images[:4])
+        np.testing.assert_allclose(features, raw)
+
+    def test_same_standardisation_for_new_images(self, trained):
+        """Perturbed images must go through the identical affine map."""
+        ds, model, _ = trained
+        extractor = FeatureExtractor(model).fit(ds.images)
+        a = extractor.transform(ds.images[:3])
+        b = extractor.transform(ds.images[:3] + 0.0)
+        np.testing.assert_allclose(a, b)
+
+    def test_features_cluster_by_category(self, trained):
+        """Within-category feature distance < between-category distance."""
+        ds, model, _ = trained
+        extractor = FeatureExtractor(model).fit(ds.images)
+        features = extractor.transform(ds.images)
+        socks = ds.items_in_category("sock")
+        shoes = ds.items_in_category("running_shoe")
+        within = np.linalg.norm(
+            features[socks[0]] - features[socks[1]]
+        )
+        between = np.linalg.norm(features[socks[0]] - features[shoes[0]])
+        assert between > within * 0.5  # loose but directional
+
+    def test_transform_raw_features(self, trained):
+        ds, model, _ = trained
+        extractor = FeatureExtractor(model).fit(ds.images)
+        raw = model.extract_features(ds.images[:2])
+        np.testing.assert_allclose(
+            extractor.transform_raw_features(raw), extractor.transform(ds.images[:2])
+        )

@@ -1,0 +1,212 @@
+"""End-to-end integration tests: the paper's directional claims.
+
+These tests run the full TAaMR stack (synthetic dataset → classifier →
+features → VBPR/AMR → attacks → CHR) at a small-but-meaningful scale
+and assert the *shape* of the paper's results:
+
+* RQ1 — targeted attacks raise the attacked category's CHR@N, more so
+  with larger ε and with PGD than FGSM;
+* the adversarially-trained AMR is less affected than VBPR;
+* RQ2 — perturbed images stay visually close (PSNR/SSIM in the paper's
+  bands).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_context,
+    men_config,
+    run_attack_grid,
+)
+
+CONFIG = dict(
+    scale=0.004,
+    image_size=32,
+    classifier_epochs=12,
+    recommender_epochs=50,
+    amr_pretrain_epochs=25,
+    cutoff=100,
+    epsilons_255=(4.0, 8.0, 16.0),
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(men_config(**CONFIG))
+
+
+@pytest.fixture(scope="module")
+def vbpr_grid(context):
+    return run_attack_grid(context, "VBPR")
+
+
+@pytest.fixture(scope="module")
+def amr_grid(context):
+    return run_attack_grid(context, "AMR")
+
+
+def similar_scenario(grid):
+    return next(s for s in grid.scenarios if s.semantically_similar)
+
+
+class TestSubstrateQuality:
+    def test_classifier_is_competent(self, context):
+        """The paper's extractor is near-perfect on its classes."""
+        assert context.classifier_accuracy > 0.95
+
+    def test_source_category_is_low_recommended(self, vbpr_grid):
+        """The scenario premise: sock CHR << running-shoe CHR."""
+        report = vbpr_grid.pipeline.clean_chr_report()
+        assert report["sock"] < report["running_shoe"] / 2
+
+    def test_recommender_beats_random(self, context):
+        from repro.recommenders import evaluate_ranking
+
+        report = evaluate_ranking(context.vbpr, context.dataset.feedback, cutoff=10)
+        assert report.auc > 0.6
+
+
+class TestRQ1RecommendationShift:
+    def test_pgd_raises_source_chr(self, vbpr_grid):
+        scenario = similar_scenario(vbpr_grid)
+        strongest = [
+            o
+            for o in vbpr_grid.cells(scenario=scenario, attack_name="PGD")
+            if o.epsilon_255 == 16.0
+        ][0]
+        assert strongest.chr_source_after > strongest.chr_source_before
+
+    def test_chr_grows_with_epsilon_under_pgd(self, vbpr_grid):
+        scenario = similar_scenario(vbpr_grid)
+        cells = sorted(
+            vbpr_grid.cells(scenario=scenario, attack_name="PGD"),
+            key=lambda o: o.epsilon_255,
+        )
+        values = [o.chr_source_after for o in cells]
+        assert values[-1] > values[0]
+
+    def test_pgd_stronger_than_fgsm(self, vbpr_grid):
+        """Table II/III: PGD dominates FGSM at matched budgets."""
+        scenario = similar_scenario(vbpr_grid)
+        for eps in (8.0, 16.0):
+            pgd = [
+                o
+                for o in vbpr_grid.cells(scenario=scenario, attack_name="PGD")
+                if o.epsilon_255 == eps
+            ][0]
+            fgsm = [
+                o
+                for o in vbpr_grid.cells(scenario=scenario, attack_name="FGSM")
+                if o.epsilon_255 == eps
+            ][0]
+            assert pgd.success_rate >= fgsm.success_rate
+
+    def test_success_rate_grows_with_epsilon(self, vbpr_grid):
+        scenario = similar_scenario(vbpr_grid)
+        cells = sorted(
+            vbpr_grid.cells(scenario=scenario, attack_name="PGD"),
+            key=lambda o: o.epsilon_255,
+        )
+        rates = [o.success_rate for o in cells]
+        assert rates[-1] >= rates[0]
+        assert rates[-1] > 0.8  # strong budgets should (almost) always succeed
+
+    def test_similar_scenario_at_least_as_effective(self, vbpr_grid):
+        """Paper: semantic closeness of source/target helps the attack."""
+        similar = similar_scenario(vbpr_grid)
+        dissimilar = next(s for s in vbpr_grid.scenarios if not s.semantically_similar)
+        uplift_similar = np.mean(
+            [
+                o.chr_source_after - o.chr_source_before
+                for o in vbpr_grid.cells(scenario=similar, attack_name="PGD")
+            ]
+        )
+        uplift_dissimilar = np.mean(
+            [
+                o.chr_source_after - o.chr_source_before
+                for o in vbpr_grid.cells(scenario=dissimilar, attack_name="PGD")
+            ]
+        )
+        assert uplift_similar >= uplift_dissimilar - 0.25  # allow small noise
+
+
+class TestAMRRobustness:
+    def test_amr_less_affected_than_vbpr(self, vbpr_grid, amr_grid):
+        """Paper Table II: the adversarial regularizer dampens TAaMR."""
+        vbpr_uplift = np.mean(
+            [o.chr_source_after - o.chr_source_before for o in vbpr_grid.outcomes]
+        )
+        amr_uplift = np.mean(
+            [o.chr_source_after - o.chr_source_before for o in amr_grid.outcomes]
+        )
+        assert amr_uplift <= vbpr_uplift
+
+    def test_amr_not_completely_safe(self, amr_grid):
+        """Paper: AMR is 'less affected … but not completely safe'."""
+        strongest = [
+            o
+            for o in amr_grid.outcomes
+            if o.attack_name == "PGD" and o.epsilon_255 == 16.0
+        ]
+        assert any(o.success_rate > 0.5 for o in strongest)
+
+
+class TestRQ2VisualQuality:
+    def test_psnr_in_paper_band(self, vbpr_grid):
+        """Paper: PSNR stays within the acceptable 20-50 dB range."""
+        for outcome in vbpr_grid.outcomes:
+            assert 20.0 < outcome.visual.psnr < 55.0
+
+    def test_ssim_stays_high(self, vbpr_grid):
+        for outcome in vbpr_grid.outcomes:
+            assert outcome.visual.ssim > 0.8
+
+    def test_distortion_grows_with_epsilon(self, vbpr_grid):
+        scenario = similar_scenario(vbpr_grid)
+        cells = sorted(
+            vbpr_grid.cells(scenario=scenario, attack_name="PGD"),
+            key=lambda o: o.epsilon_255,
+        )
+        psnrs = [o.visual.psnr for o in cells]
+        assert psnrs[0] > psnrs[-1]  # more budget, more distortion
+
+    def test_fgsm_psm_below_pgd(self, vbpr_grid):
+        """Paper Table IV: PGD moves features more than FGSM (higher PSM)."""
+        scenario = similar_scenario(vbpr_grid)
+        for eps in (8.0, 16.0):
+            pgd = [
+                o
+                for o in vbpr_grid.cells(scenario=scenario, attack_name="PGD")
+                if o.epsilon_255 == eps
+            ][0]
+            fgsm = [
+                o
+                for o in vbpr_grid.cells(scenario=scenario, attack_name="FGSM")
+                if o.epsilon_255 == eps
+            ][0]
+            assert pgd.visual.psm >= fgsm.visual.psm * 0.5  # PGD not far below
+
+
+class TestFig2Example:
+    def test_attacked_item_rank_improves(self, vbpr_grid):
+        """Fig. 2: a successfully attacked sock climbs the rankings."""
+        scenario = similar_scenario(vbpr_grid)
+        outcome = [
+            o
+            for o in vbpr_grid.cells(scenario=scenario, attack_name="PGD")
+            if o.epsilon_255 == 16.0
+        ][0]
+        model = vbpr_grid.pipeline.extractor.model
+        target_class = vbpr_grid.pipeline.dataset.registry.by_name(
+            scenario.target
+        ).category_id
+        successes = outcome.attacked_item_ids[
+            model.predict(outcome.adversarial_images) == target_class
+        ]
+        assert successes.size > 0
+        improvements = []
+        for item in successes[:5]:
+            report = vbpr_grid.pipeline.item_report(outcome, int(item))
+            improvements.append(report.mean_rank_before - report.mean_rank_after)
+        assert np.mean(improvements) > 0  # lower rank number = better position

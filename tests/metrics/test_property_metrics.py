@@ -1,0 +1,117 @@
+"""Property-based tests for the visual quality metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import mse, psm_from_features, psnr, ssim
+
+pixel_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+image_pairs_shape = st.tuples(st.integers(1, 3), st.integers(8, 14), st.integers(8, 14))
+
+
+@st.composite
+def image_pair(draw):
+    shape = draw(image_pairs_shape)
+    x = draw(arrays(dtype=np.float64, shape=shape, elements=pixel_floats))
+    y = draw(arrays(dtype=np.float64, shape=shape, elements=pixel_floats))
+    return x, y
+
+
+class TestMSEPSNRProperties:
+    @given(image_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_mse_symmetry(self, pair):
+        x, y = pair
+        assert mse(x, y) == mse(y, x)
+
+    @given(image_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_mse_non_negative(self, pair):
+        x, y = pair
+        assert mse(x, y) >= 0.0
+
+    @given(image_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_psnr_symmetry(self, pair):
+        x, y = pair
+        assert psnr(x, y) == psnr(y, x)
+
+    @given(arrays(dtype=np.float64, shape=image_pairs_shape, elements=pixel_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_psnr_identity_infinite(self, x):
+        assert psnr(x, x) == float("inf")
+
+    @given(image_pair(), st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_psnr_monotone_in_perturbation_scale(self, pair, scale):
+        """Shrinking the perturbation can only improve PSNR."""
+        x, y = pair
+        if np.allclose(x, y):
+            return
+        closer = x + scale * (y - x)
+        assert psnr(x, closer) >= psnr(x, y) - 1e-9
+
+
+class TestSSIMProperties:
+    @given(arrays(dtype=np.float64, shape=image_pairs_shape, elements=pixel_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_is_one(self, x):
+        assert abs(ssim(x, x) - 1.0) < 1e-9
+
+    @given(image_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, pair):
+        x, y = pair
+        assert abs(ssim(x, y) - ssim(y, x)) < 1e-9
+
+    @given(image_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, pair):
+        x, y = pair
+        value = ssim(x, y)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestPSMProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(2, 16)),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_identity_zero(self, features):
+        np.testing.assert_allclose(psm_from_features(features, features), 0.0)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(2, 16)),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        ),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quadratic_scaling(self, features, scale):
+        """PSM is a squared distance: scaling the gap scales PSM by scale²."""
+        other = features + 1.0
+        base = psm_from_features(features, other)
+        scaled = psm_from_features(features, features + scale * (other - features))
+        np.testing.assert_allclose(scaled, base * scale ** 2, rtol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(2, 16)),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, features):
+        other = features[::-1].copy()
+        np.testing.assert_allclose(
+            psm_from_features(features, other), psm_from_features(other, features)
+        )

@@ -1,0 +1,163 @@
+"""Unit tests for PSNR, SSIM and PSM (Table IV metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    PerceptualSimilarity,
+    batch_psnr,
+    batch_ssim,
+    mse,
+    psm_from_features,
+    psnr,
+    ssim,
+)
+from repro.nn import TinyResNet
+
+RNG = np.random.default_rng(9)
+
+
+class TestMSEPSNR:
+    def test_mse_zero_for_identical(self):
+        x = RNG.random((3, 8, 8))
+        assert mse(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_psnr_infinite_for_identical(self):
+        x = RNG.random((3, 4, 4))
+        assert psnr(x, x) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.1)  # MSE = 0.01 -> PSNR = 20 dB
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_psnr_scale_invariance(self):
+        """255-scale and 1-scale images give identical dB values."""
+        a = RNG.random((3, 6, 6))
+        b = np.clip(a + RNG.normal(0, 0.02, a.shape), 0, 1)
+        db_unit = psnr(a, b, peak=1.0)
+        db_255 = psnr(a * 255, b * 255, peak=255.0)
+        assert db_unit == pytest.approx(db_255)
+
+    def test_psnr_decreases_with_noise(self):
+        x = RNG.random((3, 8, 8))
+        small = np.clip(x + RNG.normal(0, 0.01, x.shape), 0, 1)
+        large = np.clip(x + RNG.normal(0, 0.1, x.shape), 0, 1)
+        assert psnr(x, small) > psnr(x, large)
+
+    def test_batch_psnr_matches_single(self):
+        x = RNG.random((4, 3, 8, 8))
+        y = np.clip(x + RNG.normal(0, 0.05, x.shape), 0, 1)
+        batch = batch_psnr(x, y)
+        singles = [psnr(x[i], y[i]) for i in range(4)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_typical_attack_range(self):
+        """ε = 8/255 perturbations should land in the paper's 20-50 dB band."""
+        x = RNG.random((3, 16, 16))
+        y = np.clip(x + RNG.choice([-1, 1], x.shape) * (8 / 255), 0, 1)
+        assert 20 < psnr(x, y) < 50
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            batch_psnr(np.zeros((1, 3, 4, 4)), np.zeros((2, 3, 4, 4)))
+
+    def test_invalid_peak(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.ones((2, 2)), peak=0.0)
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self):
+        x = RNG.random((3, 16, 16))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_range_bounded(self):
+        x = RNG.random((3, 16, 16))
+        y = RNG.random((3, 16, 16))
+        value = ssim(x, y)
+        assert -1.0 <= value <= 1.0
+
+    def test_decreases_with_noise(self):
+        x = RNG.random((3, 16, 16))
+        small = np.clip(x + RNG.normal(0, 0.01, x.shape), 0, 1)
+        large = np.clip(x + RNG.normal(0, 0.2, x.shape), 0, 1)
+        assert ssim(x, small) > ssim(x, large)
+
+    def test_constant_shift_keeps_structure(self):
+        """SSIM is structure-sensitive: a small uniform shift barely hurts."""
+        x = RNG.random((1, 16, 16)) * 0.5 + 0.25
+        shifted = x + 0.02
+        noisy = np.clip(x + RNG.normal(0, 0.02, x.shape), 0, 1)
+        assert ssim(x, shifted) > ssim(x, noisy)
+
+    def test_accepts_hw_images(self):
+        x = RNG.random((12, 12))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_small_attack_stays_near_one(self):
+        x = RNG.random((3, 16, 16))
+        y = np.clip(x + RNG.choice([-1, 1], x.shape) * (4 / 255), 0, 1)
+        assert ssim(x, y) > 0.9
+
+    def test_window_validation(self):
+        x = RNG.random((3, 8, 8))
+        with pytest.raises(ValueError):
+            ssim(x, x, window=1)
+        with pytest.raises(ValueError):
+            ssim(x, x, window=10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((3, 8, 8)), np.zeros((3, 9, 9)))
+
+    def test_batch_ssim(self):
+        x = RNG.random((3, 3, 12, 12))
+        values = batch_ssim(x, x)
+        np.testing.assert_allclose(values, np.ones(3), atol=1e-10)
+
+
+class TestPSM:
+    def test_from_features_zero_for_identical(self):
+        feats = RNG.random((5, 8))
+        np.testing.assert_allclose(psm_from_features(feats, feats), np.zeros(5))
+
+    def test_from_features_normalised_by_dim(self):
+        a = np.zeros((1, 4))
+        b = np.ones((1, 4))
+        assert psm_from_features(a, b)[0] == pytest.approx(1.0)  # 4/4
+
+    def test_from_features_validation(self):
+        with pytest.raises(ValueError):
+            psm_from_features(np.zeros((2, 3)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            psm_from_features(np.zeros(3), np.zeros(3))
+
+    def test_model_based_psm(self):
+        model = TinyResNet(num_classes=3, widths=(4, 8), blocks_per_stage=(1, 1), seed=0)
+        metric = PerceptualSimilarity(model)
+        x = RNG.random((2, 3, 16, 16))
+        np.testing.assert_allclose(metric(x, x), np.zeros(2), atol=1e-12)
+        y = np.clip(x + RNG.normal(0, 0.3, x.shape), 0, 1)
+        assert metric(x, y).min() > 0
+
+    def test_single_pair(self):
+        model = TinyResNet(num_classes=3, widths=(4,), blocks_per_stage=(1,), seed=0)
+        metric = PerceptualSimilarity(model)
+        x = RNG.random((3, 16, 16))
+        assert metric.single(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_batch_shape_validation(self):
+        model = TinyResNet(num_classes=3, widths=(4,), blocks_per_stage=(1,), seed=0)
+        metric = PerceptualSimilarity(model)
+        with pytest.raises(ValueError):
+            metric(np.zeros((1, 3, 8, 8)), np.zeros((2, 3, 8, 8)))
+        with pytest.raises(ValueError):
+            metric(np.zeros((3, 8, 8)), np.zeros((3, 8, 8)))

@@ -1,0 +1,119 @@
+"""Unit tests for the dependency-free image export (repro.viz)."""
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.viz import image_grid, save_attack_comparison, write_png, write_ppm
+
+RNG = np.random.default_rng(2)
+
+
+def read_png_pixels(path):
+    """Minimal PNG reader for round-trip verification (filter-0 RGB only)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    offset = 8
+    width = height = None
+    idat = b""
+    while offset < len(data):
+        (length,) = struct.unpack(">I", data[offset : offset + 4])
+        tag = data[offset + 4 : offset + 8]
+        payload = data[offset + 8 : offset + 8 + length]
+        if tag == b"IHDR":
+            width, height, bit_depth, color_type = struct.unpack(">IIBB", payload[:10])
+            assert bit_depth == 8 and color_type == 2
+        elif tag == b"IDAT":
+            idat += payload
+        offset += 12 + length
+    raw = zlib.decompress(idat)
+    stride = width * 3 + 1
+    rows = []
+    for row in range(height):
+        line = raw[row * stride : (row + 1) * stride]
+        assert line[0] == 0  # filter type None
+        rows.append(np.frombuffer(line[1:], dtype=np.uint8).reshape(width, 3))
+    return np.stack(rows)
+
+
+class TestPNG:
+    def test_roundtrip(self, tmp_path):
+        image = RNG.random((3, 9, 7))
+        path = os.path.join(tmp_path, "img.png")
+        write_png(image, path)
+        decoded = read_png_pixels(path)
+        expected = (np.clip(image, 0, 1).transpose(1, 2, 0) * 255 + 0.5).astype(np.uint8)
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_grayscale_promoted(self, tmp_path):
+        image = RNG.random((1, 5, 5))
+        path = os.path.join(tmp_path, "gray.png")
+        write_png(image, path)
+        decoded = read_png_pixels(path)
+        assert decoded.shape == (5, 5, 3)
+        np.testing.assert_array_equal(decoded[..., 0], decoded[..., 1])
+
+    def test_out_of_range_clipped(self, tmp_path):
+        image = np.full((3, 2, 2), 2.0)
+        path = os.path.join(tmp_path, "clip.png")
+        write_png(image, path)
+        assert read_png_pixels(path).max() == 255
+
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_png(np.zeros((4, 5, 5)), os.path.join(tmp_path, "x.png"))
+        with pytest.raises(ValueError):
+            write_png(np.zeros((5, 5)), os.path.join(tmp_path, "x.png"))
+
+
+class TestPPM:
+    def test_header_and_size(self, tmp_path):
+        image = RNG.random((3, 4, 6))
+        path = os.path.join(tmp_path, "img.ppm")
+        write_ppm(image, path)
+        with open(path, "rb") as handle:
+            content = handle.read()
+        assert content.startswith(b"P6\n6 4\n255\n")
+        assert len(content) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+
+class TestGrid:
+    def test_grid_dimensions(self):
+        images = [RNG.random((3, 8, 8)) for _ in range(5)]
+        grid = image_grid(images, columns=3, pad=1)
+        assert grid.shape == (3, 2 * 8 + 3 * 1, 3 * 8 + 4 * 1)
+
+    def test_grid_places_first_image(self):
+        images = [np.zeros((3, 4, 4)), np.ones((3, 4, 4))]
+        grid = image_grid(images, columns=2, pad=0)
+        np.testing.assert_array_equal(grid[:, :4, :4], images[0])
+        np.testing.assert_array_equal(grid[:, :4, 4:8], images[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            image_grid([])
+        with pytest.raises(ValueError):
+            image_grid([np.zeros((3, 4, 4)), np.zeros((3, 5, 5))])
+        with pytest.raises(ValueError):
+            image_grid([np.zeros((3, 4, 4))], columns=0)
+
+    def test_save_attack_comparison(self, tmp_path):
+        clean = RNG.random((3, 3, 6, 6))
+        attacked = np.clip(clean + 0.05, 0, 1)
+        path = os.path.join(tmp_path, "cmp.png")
+        save_attack_comparison(clean, attacked, path, columns=2)
+        assert os.path.exists(path)
+        decoded = read_png_pixels(path)
+        assert decoded.shape[0] > 6  # grid bigger than one image
+
+    def test_save_attack_comparison_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_attack_comparison(
+                np.zeros((2, 3, 4, 4)),
+                np.zeros((3, 3, 4, 4)),
+                os.path.join(tmp_path, "x.png"),
+            )

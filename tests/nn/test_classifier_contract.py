@@ -1,0 +1,109 @@
+"""Contract tests run against every ImageClassifier implementation.
+
+Any architecture plugged into the TAaMR pipeline must honour the same
+API invariants; these tests are parametrised over all shipped
+architectures so future ones get the contract for free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import SimpleCNN, Tensor, TinyResNet, cross_entropy
+
+RNG = np.random.default_rng(21)
+
+ARCHITECTURES = {
+    "tiny_resnet": lambda: TinyResNet(
+        num_classes=4, widths=(8, 16), blocks_per_stage=(1, 1), seed=0
+    ),
+    "simple_cnn": lambda: SimpleCNN(
+        num_classes=4, widths=(8, 16), convs_per_stage=1, seed=0
+    ),
+}
+
+
+@pytest.fixture(params=sorted(ARCHITECTURES), ids=sorted(ARCHITECTURES))
+def model(request):
+    return ARCHITECTURES[request.param]()
+
+
+class TestClassifierContract:
+    def test_logits_shape(self, model):
+        out = model(Tensor(RNG.random((3, 3, 16, 16))))
+        assert out.shape == (3, model.num_classes)
+
+    def test_features_shape_matches_feature_dim(self, model):
+        feats = model.features(Tensor(RNG.random((2, 3, 16, 16))))
+        assert feats.shape == (2, model.feature_dim)
+
+    def test_forward_with_features_consistency(self, model):
+        model.eval()
+        x = Tensor(RNG.random((2, 3, 16, 16)))
+        logits, feats = model.forward_with_features(x)
+        np.testing.assert_allclose(logits.data, model.fc(feats).data, atol=1e-12)
+
+    def test_predict_proba_distribution(self, model):
+        probs = model.predict_proba(RNG.random((4, 3, 16, 16)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-10)
+        assert np.all(probs >= 0)
+
+    def test_predict_matches_argmax(self, model):
+        images = RNG.random((4, 3, 16, 16))
+        np.testing.assert_array_equal(
+            model.predict(images), model.predict_proba(images).argmax(axis=1)
+        )
+
+    def test_batching_invariance(self, model):
+        model.eval()
+        images = RNG.random((5, 3, 16, 16))
+        np.testing.assert_allclose(
+            model.extract_features(images, batch_size=5),
+            model.extract_features(images, batch_size=2),
+            atol=1e-10,
+        )
+
+    def test_empty_batch(self, model):
+        assert model.predict_proba(np.zeros((0, 3, 16, 16))).shape == (
+            0,
+            model.num_classes,
+        )
+        assert model.extract_features(np.zeros((0, 3, 16, 16))).shape == (
+            0,
+            model.feature_dim,
+        )
+
+    def test_eval_mode_restored_after_convenience_calls(self, model):
+        model.train()
+        model.predict(RNG.random((2, 3, 16, 16)))
+        assert model.training
+        model.eval()
+        model.predict(RNG.random((2, 3, 16, 16)))
+        assert not model.training
+
+    def test_input_gradients_for_attacks(self, model):
+        model.eval()
+        x = Tensor(RNG.random((2, 3, 16, 16)), requires_grad=True)
+        cross_entropy(model(x), np.array([0, 1])).backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+        assert np.abs(x.grad).sum() > 0
+
+    def test_rejects_non_nchw(self, model):
+        with pytest.raises(ValueError):
+            model.features(Tensor(RNG.random((3, 16, 16))))
+
+    def test_state_roundtrip_preserves_predictions(self, model, tmp_path):
+        import os
+
+        from repro.nn import load_state, save_state
+
+        path = os.path.join(tmp_path, "weights.npz")
+        save_state(model, path)
+        clone = ARCHITECTURES[
+            "tiny_resnet" if isinstance(model, TinyResNet) else "simple_cnn"
+        ]()
+        load_state(clone, path)
+        images = RNG.random((3, 3, 16, 16))
+        np.testing.assert_allclose(
+            clone.predict_proba(images), model.predict_proba(images), atol=1e-12
+        )

@@ -1,0 +1,169 @@
+"""Unit tests for conv/pool/softmax primitives (repro.nn.functional)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.helpers import check_gradient, numerical_gradient
+
+RNG = np.random.default_rng(7)
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        images = RNG.random((2, 3, 8, 8))
+        cols, (h, w) = F.im2col(images, kernel=3, stride=1, pad=0)
+        assert (h, w) == (6, 6)
+        assert cols.shape == (2 * 36, 3 * 9)
+
+    def test_stride_and_pad(self):
+        images = RNG.random((1, 1, 5, 5))
+        cols, (h, w) = F.im2col(images, kernel=3, stride=2, pad=1)
+        assert (h, w) == (3, 3)
+        assert cols.shape == (9, 9)
+
+    def test_values_match_naive(self):
+        images = RNG.random((1, 2, 4, 4))
+        cols, _ = F.im2col(images, kernel=2, stride=2, pad=0)
+        # First window: channels-major flattening of the top-left 2x2 patch.
+        expected = images[0, :, 0:2, 0:2].reshape(-1)
+        np.testing.assert_allclose(cols[0], expected)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            F.im2col(RNG.random((1, 1, 2, 2)), kernel=5, stride=1, pad=0)
+
+    def test_col2im_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> for random y: adjoint property.
+        images = RNG.random((2, 2, 5, 5))
+        cols, _ = F.im2col(images, kernel=3, stride=1, pad=1)
+        y = RNG.random(cols.shape)
+        lhs = float((cols * y).sum())
+        back = F.col2im(y, images.shape, kernel=3, stride=1, pad=1)
+        rhs = float((images * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        x = Tensor(RNG.random((2, 3, 8, 8)))
+        w = Tensor(RNG.standard_normal((5, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=1, padding=1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_matches_naive_convolution(self):
+        x = RNG.random((1, 1, 4, 4))
+        w = RNG.standard_normal((1, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0).data
+        naive = np.zeros((1, 1, 2, 2))
+        for i in range(2):
+            for j in range(2):
+                naive[0, 0, i, j] = (x[0, 0, i : i + 3, j : j + 3] * w[0, 0]).sum()
+        np.testing.assert_allclose(out, naive, atol=1e-12)
+
+    def test_input_gradient(self):
+        w = Tensor(RNG.standard_normal((2, 3, 3, 3)) * 0.3)
+        check_gradient(
+            lambda x: F.conv2d(x, w, stride=1, padding=1),
+            RNG.random((1, 3, 5, 5)),
+        )
+
+    def test_weight_gradient(self):
+        x = Tensor(RNG.random((2, 2, 5, 5)))
+        w0 = RNG.standard_normal((3, 2, 3, 3)) * 0.3
+
+        w = Tensor(w0.copy(), requires_grad=True)
+        (F.conv2d(x, w, stride=2, padding=1) ** 2).sum().backward()
+
+        def scalar(wd):
+            return float((F.conv2d(x, Tensor(wd), stride=2, padding=1).data ** 2).sum())
+
+        expected = numerical_gradient(scalar, w0)
+        np.testing.assert_allclose(w.grad, expected, atol=1e-5, rtol=1e-4)
+
+    def test_bias_gradient(self):
+        x = Tensor(RNG.random((2, 1, 4, 4)))
+        w = Tensor(RNG.standard_normal((2, 1, 3, 3)))
+        b = Tensor(np.zeros(2), requires_grad=True)
+        F.conv2d(x, w, b, padding=1).sum().backward()
+        # Each bias unit receives one gradient per output location per sample.
+        np.testing.assert_allclose(b.grad, np.full(2, 2 * 16.0))
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(RNG.random((1, 2, 4, 4))), Tensor(RNG.random((1, 3, 3, 3))))
+
+    def test_non_square_kernel_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(RNG.random((1, 1, 4, 4))), Tensor(RNG.random((1, 1, 2, 3))))
+
+    def test_non_nchw_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(RNG.random((4, 4))), Tensor(RNG.random((1, 1, 2, 2))))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel=2).data
+        np.testing.assert_allclose(out, [[[[5.0, 7.0], [13.0, 15.0]]]])
+
+    def test_max_pool_gradient(self):
+        check_gradient(lambda x: F.max_pool2d(x, 2), RNG.random((2, 2, 4, 4)))
+
+    def test_avg_pool_values(self):
+        x = np.ones((1, 1, 4, 4))
+        out = F.avg_pool2d(Tensor(x), kernel=2).data
+        np.testing.assert_allclose(out, np.ones((1, 1, 2, 2)))
+
+    def test_avg_pool_gradient(self):
+        check_gradient(lambda x: F.avg_pool2d(x, 2), RNG.random((1, 3, 6, 6)))
+
+    def test_strided_max_pool(self):
+        x = Tensor(RNG.random((1, 1, 5, 5)))
+        out = F.max_pool2d(x, kernel=3, stride=2)
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_global_avg_pool(self):
+        x = RNG.random((2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x)).data
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+
+    def test_global_avg_pool_gradient(self):
+        check_gradient(F.global_avg_pool2d, RNG.random((2, 2, 3, 3)))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self):
+        logits = Tensor(RNG.standard_normal((5, 7)))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_stability_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        out = F.log_softmax(logits).data
+        assert np.all(np.isfinite(out))
+
+    def test_softmax_gradient(self):
+        check_gradient(lambda x: F.softmax(x, axis=1) ** 2, RNG.standard_normal((3, 4)))
+
+    def test_softmax_shift_invariance(self):
+        logits = RNG.standard_normal((2, 5))
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_one_hot_requires_vector(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)

@@ -1,0 +1,146 @@
+"""Layer-level numerical gradient checks.
+
+The op-level checks in ``test_functional.py`` verify primitives in
+isolation; these check *composed* layers — BatchNorm's coupled
+mean/var graph, the residual block's two-path gradient, full
+classifier losses — against central finite differences.  Errors that
+only appear through composition (e.g. a wrong unbroadcast inside
+BatchNorm's keepdims reductions) are caught here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Tensor, cross_entropy
+from repro.nn.resnet import ResidualBlock
+
+from tests.helpers import numerical_gradient
+
+RNG = np.random.default_rng(31)
+
+
+class TestBatchNormGradients:
+    def test_input_gradient_training_mode(self):
+        bn = BatchNorm2d(2)
+        bn.train()
+        x0 = RNG.random((3, 2, 4, 4))
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+
+        def scalar(data):
+            fresh = BatchNorm2d(2)
+            fresh.weight.data = bn.weight.data.copy()
+            fresh.bias.data = bn.bias.data.copy()
+            fresh.train()
+            return float((fresh(Tensor(data)).data ** 2).sum())
+
+        expected = numerical_gradient(scalar, x0)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-4, rtol=1e-3)
+
+    def test_weight_gradient(self):
+        bn = BatchNorm2d(2)
+        bn.train()
+        x0 = RNG.random((3, 2, 3, 3))
+        weight0 = RNG.random(2) + 0.5
+
+        bn.weight.data = weight0.copy()
+        out = bn(Tensor(x0))
+        (out ** 2).sum().backward()
+
+        def scalar(weights):
+            fresh = BatchNorm2d(2)
+            fresh.weight.data = weights.copy()
+            fresh.train()
+            return float((fresh(Tensor(x0)).data ** 2).sum())
+
+        expected = numerical_gradient(scalar, weight0)
+        np.testing.assert_allclose(bn.weight.grad, expected, atol=1e-5, rtol=1e-4)
+
+    def test_eval_mode_input_gradient(self):
+        bn = BatchNorm2d(2)
+        bn(Tensor(RNG.random((6, 2, 3, 3))))  # set running stats
+        bn.eval()
+        x0 = RNG.random((2, 2, 3, 3))
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+
+        def scalar(data):
+            return float((bn(Tensor(data)).data ** 2).sum())
+
+        expected = numerical_gradient(scalar, x0)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5, rtol=1e-4)
+
+
+class TestResidualBlockGradients:
+    def test_identity_block_input_gradient(self):
+        block = ResidualBlock(2, 2, rng=np.random.default_rng(0))
+        block.eval()
+        # Fix running stats so eval-mode forward is a pure function of x.
+        for bn in (block.bn1, block.bn2):
+            bn.running_mean = RNG.random(2) * 0.1
+            bn.running_var = RNG.random(2) * 0.5 + 0.5
+        x0 = RNG.random((1, 2, 4, 4))
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        (block(x) ** 2).sum().backward()
+
+        def scalar(data):
+            return float((block(Tensor(data)).data ** 2).sum())
+
+        expected = numerical_gradient(scalar, x0)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5, rtol=1e-3)
+
+    def test_projection_block_input_gradient(self):
+        block = ResidualBlock(2, 4, stride=2, rng=np.random.default_rng(1))
+        block.eval()
+        for bn in (block.bn1, block.bn2, block.shortcut_bn):
+            bn.running_mean = RNG.random(bn.num_features) * 0.1
+            bn.running_var = RNG.random(bn.num_features) * 0.5 + 0.5
+        x0 = RNG.random((1, 2, 4, 4))
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        (block(x) ** 2).sum().backward()
+
+        def scalar(data):
+            return float((block(Tensor(data)).data ** 2).sum())
+
+        expected = numerical_gradient(scalar, x0)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5, rtol=1e-3)
+
+
+class TestEndToEndLossGradients:
+    def test_classifier_loss_input_gradient(self):
+        """The exact gradient FGSM consumes (eq. 5), checked numerically."""
+        from repro.nn import TinyResNet
+
+        model = TinyResNet(num_classes=3, widths=(4,), blocks_per_stage=(1,), seed=0)
+        model.eval()
+        # Freeze BN stats to decouple batches.
+        model.stem_bn.running_mean = RNG.random(4) * 0.1
+        model.stem_bn.running_var = RNG.random(4) * 0.5 + 0.5
+        for bn in (model.blocks[0].bn1, model.blocks[0].bn2):
+            bn.running_mean = RNG.random(4) * 0.1
+            bn.running_var = RNG.random(4) * 0.5 + 0.5
+        labels = np.array([1])
+        x0 = RNG.random((1, 3, 8, 8))
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        cross_entropy(model(x), labels).backward()
+
+        def scalar(data):
+            return float(cross_entropy(model(Tensor(data)), labels).item())
+
+        # Spot-check a random subset of coordinates (full grid is slow).
+        flat_grad = x.grad.reshape(-1)
+        coords = RNG.choice(x0.size, size=12, replace=False)
+        for coord in coords:
+            plus = x0.reshape(-1).copy()
+            minus = x0.reshape(-1).copy()
+            plus[coord] += 1e-6
+            minus[coord] -= 1e-6
+            numeric = (
+                scalar(plus.reshape(x0.shape)) - scalar(minus.reshape(x0.shape))
+            ) / 2e-6
+            assert flat_grad[coord] == pytest.approx(numeric, abs=1e-5, rel=1e-3)

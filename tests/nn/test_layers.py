@@ -1,0 +1,208 @@
+"""Unit tests for Module/layer abstractions (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+RNG = np.random.default_rng(11)
+
+
+class TestModuleDiscovery:
+    def test_named_parameters_nested(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.2.bias" in names
+        assert len(names) == 4
+
+    def test_parameters_are_parameters(self):
+        model = Linear(3, 2)
+        assert all(isinstance(p, Parameter) for p in model.parameters())
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5), BatchNorm2d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = Linear(3, 2)
+        out = model(Tensor(RNG.random((4, 3))))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+        assert model.bias.grad is None
+
+    def test_state_dict_roundtrip(self):
+        model = Sequential(Linear(3, 4), Linear(4, 2))
+        state = model.state_dict()
+        clone = Sequential(Linear(3, 4), Linear(4, 2))
+        clone.load_state_dict(state)
+        x = Tensor(RNG.random((2, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = Linear(3, 2)
+        bad = {name: np.zeros((1, 1)) for name, _ in model.named_parameters()}
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_load_state_dict_unknown_key_raises(self):
+        model = Linear(3, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros(2)})
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.ones(2)))
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=RNG)
+        assert layer(Tensor(RNG.random((7, 5)))).shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(5, 3, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_matches_manual(self):
+        layer = Linear(4, 2, rng=RNG)
+        x = RNG.random((3, 4))
+        np.testing.assert_allclose(
+            layer(Tensor(x)).data, x @ layer.weight.data.T + layer.bias.data
+        )
+
+
+class TestConvLayer:
+    def test_shapes_and_params(self):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=RNG)
+        out = layer(Tensor(RNG.random((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+        assert len(layer.parameters()) == 2
+
+    def test_no_bias(self):
+        layer = Conv2d(1, 1, 3, bias=False, rng=RNG)
+        assert layer.bias is None
+
+
+class TestBatchNorm:
+    def test_train_normalises_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(RNG.random((8, 3, 4, 4)) * 5 + 2)
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(3), atol=1e-3)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 2, 2)) * 3.0)
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, [1.5, 1.5])
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1, momentum=1.0)
+        bn(Tensor(RNG.random((8, 1, 3, 3))))  # one training pass fixes stats
+        bn.eval()
+        x = Tensor(RNG.random((2, 1, 3, 3)))
+        manual = (x.data - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(bn(x).data, manual, atol=1e-10)
+
+    def test_eval_is_deterministic_per_sample(self):
+        bn = BatchNorm2d(1)
+        bn(Tensor(RNG.random((8, 1, 3, 3))))
+        bn.eval()
+        single = Tensor(RNG.random((1, 1, 3, 3)))
+        batch = Tensor(np.concatenate([single.data, RNG.random((3, 1, 3, 3))]))
+        np.testing.assert_allclose(bn(single).data, bn(batch).data[:1], atol=1e-12)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(RNG.random((2, 3))))
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state
+        clone = BatchNorm2d(2)
+        bn(Tensor(RNG.random((4, 2, 2, 2))))
+        clone.load_state_dict(bn.state_dict())
+        np.testing.assert_allclose(clone.running_mean, bn.running_mean)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = Dropout(0.5, rng=RNG)
+        layer.eval()
+        x = Tensor(RNG.random((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_train_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_probability_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(RNG.random((3, 3)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+
+class TestPoolAndShapeLayers:
+    def test_max_pool_layer(self):
+        assert MaxPool2d(2)(Tensor(RNG.random((1, 1, 4, 4)))).shape == (1, 1, 2, 2)
+
+    def test_avg_pool_layer(self):
+        assert AvgPool2d(2)(Tensor(RNG.random((1, 1, 4, 4)))).shape == (1, 1, 2, 2)
+
+    def test_global_avg_pool_layer(self):
+        assert GlobalAvgPool2d()(Tensor(RNG.random((2, 5, 4, 4)))).shape == (2, 5)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(RNG.random((2, 3, 4, 4)))).shape == (2, 48)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        model = Sequential(Linear(4, 8, rng=RNG), ReLU(), Linear(8, 2, rng=RNG))
+        out = model(Tensor(RNG.random((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_len_iter_getitem(self):
+        model = Sequential(ReLU(), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[0], ReLU)
+        assert len(list(iter(model))) == 2
+
+    def test_gradients_flow_end_to_end(self):
+        model = Sequential(Linear(4, 8, rng=RNG), ReLU(), Linear(8, 2, rng=RNG))
+        out = model(Tensor(RNG.random((3, 4))))
+        (out ** 2).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())

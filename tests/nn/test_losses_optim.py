@@ -1,0 +1,250 @@
+"""Unit tests for losses, optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    Linear,
+    StepLR,
+    Tensor,
+    accuracy,
+    clip_grad_norm,
+    cross_entropy,
+    mse,
+    soft_cross_entropy,
+)
+from repro.nn.layers import Parameter
+from repro.nn.losses import nll_from_log_probs
+from repro.nn import functional as F
+
+from tests.helpers import numerical_gradient
+
+RNG = np.random.default_rng(3)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((4, 5)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(5))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-8
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        logits0 = RNG.standard_normal((3, 4))
+        labels = np.array([1, 0, 3])
+        logits = Tensor(logits0.copy(), requires_grad=True)
+        cross_entropy(logits, labels).backward()
+        probs = F.softmax(Tensor(logits0)).data
+        expected = (probs - F.one_hot(labels, 4)) / 3
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+    def test_gradient_finite_difference(self):
+        logits0 = RNG.standard_normal((2, 3))
+        labels = np.array([0, 2])
+        logits = Tensor(logits0.copy(), requires_grad=True)
+        cross_entropy(logits, labels).backward()
+        expected = numerical_gradient(
+            lambda d: float(cross_entropy(Tensor(d), labels).item()), logits0
+        )
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-6)
+
+    def test_label_smoothing_increases_loss_on_confident_prediction(self):
+        logits = np.full((1, 3), -20.0)
+        logits[0, 0] = 20.0
+        plain = cross_entropy(Tensor(logits), np.array([0])).item()
+        smoothed = cross_entropy(Tensor(logits), np.array([0]), label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_temperature_softens_gradient(self):
+        logits0 = RNG.standard_normal((2, 3)) * 5
+        labels = np.array([0, 1])
+        g = []
+        for temp in (1.0, 10.0):
+            logits = Tensor(logits0.copy(), requires_grad=True)
+            cross_entropy(logits, labels, temperature=temp).backward()
+            g.append(np.abs(logits.grad).max())
+        assert g[1] < g[0]
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1]), label_smoothing=1.5)
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1]), temperature=0.0)
+
+    def test_soft_cross_entropy_matches_hard_on_onehot(self):
+        logits = RNG.standard_normal((3, 4))
+        labels = np.array([0, 1, 2])
+        hard = cross_entropy(Tensor(logits), labels).item()
+        soft = soft_cross_entropy(Tensor(logits), F.one_hot(labels, 4)).item()
+        assert hard == pytest.approx(soft)
+
+    def test_soft_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            soft_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((3, 2)))
+
+    def test_nll_from_log_probs(self):
+        log_probs = F.log_softmax(Tensor(RNG.standard_normal((4, 3))))
+        labels = np.array([0, 1, 2, 0])
+        expected = -log_probs.data[np.arange(4), labels].mean()
+        assert nll_from_log_probs(log_probs, labels).item() == pytest.approx(expected)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy(np.zeros((0, 2)), np.zeros(0)) == 0.0
+
+
+def _quadratic_param(start):
+    return Parameter(np.array(start, dtype=np.float64))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = _quadratic_param([4.0])
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [4.0 - 0.1 * 8.0])
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([5.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_weight_decay_shrinks_params(self):
+        p = _quadratic_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = _quadratic_param([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad: should be a no-op, not crash
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_validation(self):
+        p = _quadratic_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, nesterov=True)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        trajectories = []
+        for nesterov in (False, True):
+            p = _quadratic_param([1.0])
+            opt = SGD([p], lr=0.1, momentum=0.9, nesterov=nesterov)
+            for _ in range(3):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            trajectories.append(p.data[0])
+        assert trajectories[0] != pytest.approx(trajectories[1])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([3.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        p = _quadratic_param([1.0])
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([0.5])
+        opt.step()
+        # Bias correction makes the first update ≈ lr * sign(grad).
+        np.testing.assert_allclose(p.data, [1.0 - 0.01], atol=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param([1.0])], betas=(1.0, 0.999))
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = _quadratic_param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        p = _quadratic_param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([_quadratic_param([1.0])], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_scheduler_validation(self):
+        opt = SGD([_quadratic_param([1.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = _quadratic_param([1.0, 1.0])
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, atol=1e-9)
+
+    def test_leaves_small_gradients(self):
+        p = _quadratic_param([1.0])
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([_quadratic_param([1.0])], max_norm=0.0)

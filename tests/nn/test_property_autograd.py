@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(min_side=1, max_side=4, max_dims=3):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=min_side, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAlgebraicGradients:
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(small_arrays(), finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_multiplication_scales_gradient(self, data, scalar):
+        x = Tensor(data, requires_grad=True)
+        (x * scalar).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(data, scalar))
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_gradient_distributes(self, data):
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(data.copy(), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(data))
+        np.testing.assert_allclose(b.grad, np.ones_like(data))
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_product_rule(self, data):
+        # d(x*x)/dx = 2x
+        x = Tensor(data, requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * data, atol=1e-12)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_detach_blocks_gradient(self, data):
+        x = Tensor(data, requires_grad=True)
+        (x.detach() * 3.0).sum()
+        assert x.grad is None
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_gradient_bounded_by_one(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.relu().sum().backward()
+        assert np.all((x.grad == 0) | (x.grad == 1))
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_gradient_range(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sigmoid().sum().backward()
+        assert np.all(x.grad >= 0)
+        assert np.all(x.grad <= 0.25 + 1e-12)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_mean_equals_scaled_sum(self, data):
+        x1 = Tensor(data, requires_grad=True)
+        x1.mean().backward()
+        x2 = Tensor(data, requires_grad=True)
+        (x2.sum() * (1.0 / data.size)).backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-12)
+
+
+class TestSoftmaxProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_distribution(self, logits):
+        probs = F.softmax(Tensor(logits), axis=1).data
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+            elements=finite_floats,
+        ),
+        st.floats(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_shift_invariance(self, logits, shift):
+        a = F.softmax(Tensor(logits), axis=1).data
+        b = F.softmax(Tensor(logits + shift), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(2, 5)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_log_softmax_consistent_with_softmax(self, logits):
+        log_probs = F.log_softmax(Tensor(logits), axis=1).data
+        probs = F.softmax(Tensor(logits), axis=1).data
+        np.testing.assert_allclose(np.exp(log_probs), probs, atol=1e-9)
+
+
+class TestConvolutionProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(1, 2), st.integers(1, 2), st.integers(4, 6), st.integers(4, 6)
+            ),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conv_linearity_in_input(self, images):
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.standard_normal((2, images.shape[1], 3, 3)))
+        single = F.conv2d(Tensor(images), w, padding=1).data
+        doubled = F.conv2d(Tensor(2.0 * images), w, padding=1).data
+        np.testing.assert_allclose(doubled, 2.0 * single, atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(1, 2), st.integers(1, 2), st.integers(4, 6), st.integers(4, 6)
+            ),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_global_avg_pool_matches_mean(self, images):
+        pooled = F.global_avg_pool2d(Tensor(images)).data
+        np.testing.assert_allclose(pooled, images.mean(axis=(2, 3)), atol=1e-12)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 2), st.integers(1, 2), st.just(4), st.just(4)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_max_pool_dominates_avg_pool(self, images):
+        max_pooled = F.max_pool2d(Tensor(images), 2).data
+        avg_pooled = F.avg_pool2d(Tensor(images), 2).data
+        assert np.all(max_pooled >= avg_pooled - 1e-12)

@@ -1,0 +1,165 @@
+"""Unit tests for TinyResNet and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, TinyResNet, cross_entropy, load_state, save_state
+from repro.nn.resnet import ResidualBlock
+from repro.nn.serialization import state_allclose
+
+RNG = np.random.default_rng(5)
+
+
+def tiny_net(num_classes=4, seed=0):
+    return TinyResNet(
+        num_classes=num_classes, widths=(8, 16), blocks_per_stage=(1, 1), seed=seed
+    )
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_shape(self):
+        block = ResidualBlock(8, 8, stride=1, rng=RNG)
+        assert block.shortcut_conv is None
+        out = block(Tensor(RNG.random((2, 8, 6, 6))))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_projection_shortcut_on_downsample(self):
+        block = ResidualBlock(8, 16, stride=2, rng=RNG)
+        assert block.shortcut_conv is not None
+        out = block(Tensor(RNG.random((2, 8, 6, 6))))
+        assert out.shape == (2, 16, 3, 3)
+
+    def test_gradients_flow_through_shortcut(self):
+        block = ResidualBlock(4, 4, rng=RNG)
+        x = Tensor(RNG.random((1, 4, 5, 5)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestTinyResNet:
+    def test_logit_shape(self):
+        net = tiny_net()
+        out = net(Tensor(RNG.random((3, 3, 16, 16))))
+        assert out.shape == (3, 4)
+
+    def test_feature_shape_matches_feature_dim(self):
+        net = tiny_net()
+        feats = net.features(Tensor(RNG.random((2, 3, 16, 16))))
+        assert feats.shape == (2, net.feature_dim)
+        assert net.feature_dim == 16
+
+    def test_forward_with_features_consistent(self):
+        net = tiny_net().eval()
+        x = Tensor(RNG.random((2, 3, 16, 16)))
+        logits, feats = net.forward_with_features(x)
+        np.testing.assert_allclose(logits.data, net.fc(feats).data)
+        np.testing.assert_allclose(feats.data, net.features(x).data, atol=1e-12)
+
+    def test_same_seed_same_weights(self):
+        a, b = tiny_net(seed=3), tiny_net(seed=3)
+        assert state_allclose(a.state_dict(), b.state_dict())
+
+    def test_different_seed_different_weights(self):
+        assert not state_allclose(tiny_net(seed=1).state_dict(), tiny_net(seed=2).state_dict())
+
+    def test_input_gradient_available_for_attacks(self):
+        net = tiny_net().eval()
+        x = Tensor(RNG.random((2, 3, 16, 16)), requires_grad=True)
+        loss = cross_entropy(net(x), np.array([0, 1]))
+        loss.backward()
+        assert x.grad is not None
+        assert np.all(np.isfinite(x.grad))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        net = tiny_net()
+        probs = net.predict_proba(RNG.random((5, 3, 16, 16)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-10)
+
+    def test_predict_returns_class_indices(self):
+        net = tiny_net()
+        preds = net.predict(RNG.random((5, 3, 16, 16)))
+        assert preds.shape == (5,)
+        assert np.all((preds >= 0) & (preds < 4))
+
+    def test_predict_restores_training_mode(self):
+        net = tiny_net().train()
+        net.predict(RNG.random((2, 3, 16, 16)))
+        assert net.training
+
+    def test_extract_features_batching_consistent(self):
+        net = tiny_net().eval()
+        images = RNG.random((7, 3, 16, 16))
+        full = net.extract_features(images, batch_size=7)
+        chunked = net.extract_features(images, batch_size=2)
+        np.testing.assert_allclose(full, chunked, atol=1e-10)
+
+    def test_empty_batch(self):
+        net = tiny_net()
+        assert net.predict_proba(np.zeros((0, 3, 16, 16))).shape == (0, 4)
+        assert net.extract_features(np.zeros((0, 3, 16, 16))).shape == (0, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TinyResNet(num_classes=1)
+        with pytest.raises(ValueError):
+            TinyResNet(num_classes=3, widths=(8,), blocks_per_stage=(1, 1))
+        net = tiny_net()
+        with pytest.raises(ValueError):
+            net.features(Tensor(RNG.random((3, 16, 16))))
+
+    def test_training_reduces_loss(self):
+        from repro.nn import SGD
+
+        net = tiny_net(num_classes=2)
+        x = RNG.random((16, 3, 8, 8))
+        # Make the two classes trivially separable by brightness.
+        labels = np.array([0] * 8 + [1] * 8)
+        x[8:] += 1.5
+        opt = SGD(net.parameters(), lr=0.05, momentum=0.9)
+        losses = []
+        for _ in range(15):
+            opt.zero_grad()
+            loss = cross_entropy(net(Tensor(x)), labels)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        net = tiny_net(seed=9)
+        path = os.path.join(tmp_path, "model.npz")
+        save_state(net, path)
+        clone = tiny_net(seed=1)
+        load_state(clone, path)
+        x = RNG.random((2, 3, 16, 16))
+        np.testing.assert_allclose(
+            clone.eval()(Tensor(x)).data, net.eval()(Tensor(x)).data, atol=1e-12
+        )
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tiny_net(), os.path.join(tmp_path, "missing.npz"))
+
+    def test_running_stats_survive_roundtrip(self, tmp_path):
+        net = tiny_net()
+        net(Tensor(RNG.random((4, 3, 16, 16))))  # update BN stats
+        path = os.path.join(tmp_path, "model.npz")
+        save_state(net, path)
+        clone = tiny_net(seed=2)
+        load_state(clone, path)
+        np.testing.assert_allclose(clone.stem_bn.running_mean, net.stem_bn.running_mean)
+
+    def test_state_allclose_detects_difference(self):
+        a = tiny_net(seed=1).state_dict()
+        b = tiny_net(seed=1).state_dict()
+        assert state_allclose(a, b)
+        key = next(iter(b))
+        b[key] = b[key] + 1.0
+        assert not state_allclose(a, b)
+        del b[key]
+        assert not state_allclose(a, b)

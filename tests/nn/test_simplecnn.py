@@ -1,0 +1,106 @@
+"""Unit tests for SimpleCNN and the shared ImageClassifier contract."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SimpleCNN, Tensor, TinyResNet, cross_entropy
+from repro.nn.classifier import ImageClassifier
+
+RNG = np.random.default_rng(13)
+
+
+def tiny_cnn(num_classes=4, seed=0):
+    return SimpleCNN(num_classes=num_classes, widths=(8, 16), convs_per_stage=1, seed=seed)
+
+
+class TestSimpleCNN:
+    def test_logit_shape(self):
+        net = tiny_cnn()
+        out = net(Tensor(RNG.random((3, 3, 16, 16))))
+        assert out.shape == (3, 4)
+
+    def test_feature_dim_is_last_width(self):
+        net = tiny_cnn()
+        feats = net.features(Tensor(RNG.random((2, 3, 16, 16))))
+        assert feats.shape == (2, 16)
+        assert net.feature_dim == 16
+
+    def test_downsampling_between_stages(self):
+        net = tiny_cnn()
+        trunk = net._trunk(Tensor(RNG.random((1, 3, 16, 16))))
+        # one max-pool between two stages: 16 -> 8
+        assert trunk.shape[-1] == 8
+
+    def test_input_gradient_available(self):
+        net = tiny_cnn().eval()
+        x = Tensor(RNG.random((2, 3, 16, 16)), requires_grad=True)
+        cross_entropy(net(x), np.array([0, 1])).backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_is_image_classifier(self):
+        assert isinstance(tiny_cnn(), ImageClassifier)
+        assert isinstance(TinyResNet(num_classes=3, widths=(8,), blocks_per_stage=(1,)), ImageClassifier)
+
+    def test_same_seed_same_weights(self):
+        a, b = tiny_cnn(seed=5), tiny_cnn(seed=5)
+        x = RNG.random((2, 3, 16, 16))
+        np.testing.assert_allclose(
+            a.eval()(Tensor(x)).data, b.eval()(Tensor(x)).data
+        )
+
+    def test_state_dict_roundtrip(self):
+        net = tiny_cnn(seed=1)
+        clone = tiny_cnn(seed=2)
+        clone.load_state_dict(net.state_dict())
+        x = RNG.random((2, 3, 16, 16))
+        np.testing.assert_allclose(
+            clone.eval()(Tensor(x)).data, net.eval()(Tensor(x)).data, atol=1e-12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimpleCNN(num_classes=1)
+        with pytest.raises(ValueError):
+            SimpleCNN(num_classes=3, convs_per_stage=0)
+        with pytest.raises(ValueError):
+            SimpleCNN(num_classes=3, widths=())
+        with pytest.raises(ValueError):
+            tiny_cnn().features(Tensor(RNG.random((3, 16, 16))))
+
+    def test_trainable_on_separable_data(self):
+        from repro.nn import SGD
+
+        net = tiny_cnn(num_classes=2)
+        x = RNG.random((12, 3, 8, 8))
+        labels = np.array([0] * 6 + [1] * 6)
+        x[6:] += 1.2
+        opt = SGD(net.parameters(), lr=0.05, momentum=0.9)
+        losses = []
+        for _ in range(12):
+            opt.zero_grad()
+            loss = cross_entropy(net(Tensor(x)), labels)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.6
+
+    def test_predict_api_contract(self):
+        """SimpleCNN honours the full ImageClassifier convenience API."""
+        net = tiny_cnn()
+        images = RNG.random((5, 3, 16, 16))
+        probs = net.predict_proba(images)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-10)
+        preds = net.predict(images)
+        np.testing.assert_array_equal(preds, probs.argmax(axis=1))
+        feats = net.extract_features(images, batch_size=2)
+        assert feats.shape == (5, net.feature_dim)
+
+    def test_attackable_with_fgsm(self):
+        """The attack stack accepts any ImageClassifier."""
+        from repro.attacks import FGSM
+
+        net = tiny_cnn()
+        images = RNG.random((3, 3, 16, 16))
+        result = FGSM(net, epsilon=0.05).attack(np.clip(images, 0, 1), target_class=1)
+        assert result.num_images == 3

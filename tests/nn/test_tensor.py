@@ -1,0 +1,313 @@
+"""Unit tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, stack
+
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(42)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype in (np.float32, np.float64)
+
+    def test_construction_from_int_array_promotes_to_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype in (np.float32, np.float64)
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+        assert Tensor(np.ones(3)).requires_grad is False
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        c = (b * 3).sum()
+        assert not c.requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(2.5)).item() == pytest.approx(2.5)
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.zeros((2, 3))))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_backward_on_nongrad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_backward_nonscalar_without_grad_raises(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_wrong_grad_shape_raises(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward(np.ones((2, 2)))
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_gradient(lambda x: x + 3.0, RNG.random((3, 4)))
+
+    def test_sub(self):
+        check_gradient(lambda x: x - 1.5, RNG.random((2, 5)))
+
+    def test_rsub(self):
+        check_gradient(lambda x: 1.5 - x, RNG.random((2, 5)))
+
+    def test_mul(self):
+        check_gradient(lambda x: x * x, RNG.random((4,)))
+
+    def test_div(self):
+        check_gradient(lambda x: x / 2.0, RNG.random((3,)) + 1.0)
+
+    def test_rdiv(self):
+        check_gradient(lambda x: 2.0 / x, RNG.random((3,)) + 1.0)
+
+    def test_pow(self):
+        check_gradient(lambda x: x ** 3, RNG.random((3, 3)) + 0.5)
+
+    def test_neg(self):
+        check_gradient(lambda x: -x, RNG.random((2, 2)))
+
+    def test_pow_non_scalar_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** np.ones(2)
+
+    def test_broadcast_add_gradient(self):
+        a = Tensor(RNG.random((3, 4)), requires_grad=True)
+        b = Tensor(RNG.random((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_broadcast_mul_gradient(self):
+        a = Tensor(RNG.random((2, 3)), requires_grad=True)
+        b = Tensor(RNG.random((1, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.broadcast_to(b.data, (2, 3)))
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=0, keepdims=True))
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a  # da = 2a + 1 = 5
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestPointwiseGradients:
+    def test_exp(self):
+        check_gradient(lambda x: x.exp(), RNG.random((3, 3)))
+
+    def test_log(self):
+        check_gradient(lambda x: x.log(), RNG.random((3,)) + 0.5)
+
+    def test_sqrt(self):
+        check_gradient(lambda x: x.sqrt(), RNG.random((3,)) + 0.5)
+
+    def test_relu(self):
+        check_gradient(lambda x: x.relu(), RNG.standard_normal((4, 4)) + 0.01)
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: x.sigmoid(), RNG.standard_normal((3, 3)))
+
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh(), RNG.standard_normal((3, 3)))
+
+    def test_abs(self):
+        check_gradient(lambda x: x.abs(), RNG.standard_normal((4,)) + 0.1)
+
+    def test_clip_gradient_masks_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor(np.array([-1000.0, 1000.0]))
+        out = x.sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+class TestMatmulGradients:
+    def test_matmul(self):
+        b = RNG.random((4, 2))
+        check_gradient(lambda x: x @ Tensor(b), RNG.random((3, 4)))
+
+    def test_matmul_right_gradient(self):
+        a = Tensor(RNG.random((3, 4)))
+        b = Tensor(RNG.random((4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        expected = a.data.T @ np.ones((3, 2))
+        np.testing.assert_allclose(b.grad, expected)
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
+
+    def test_batched_matmul(self):
+        a = Tensor(RNG.random((5, 3, 4)), requires_grad=True)
+        b = Tensor(RNG.random((5, 4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (5, 3, 4)
+        assert b.grad.shape == (5, 4, 2)
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_gradient(lambda x: x.reshape(6), RNG.random((2, 3)))
+
+    def test_reshape_tuple_arg(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose(self):
+        check_gradient(lambda x: x.transpose(), RNG.random((2, 3)))
+
+    def test_transpose_axes(self):
+        x = Tensor(RNG.random((2, 3, 4)), requires_grad=True)
+        y = x.transpose(1, 0, 2)
+        assert y.shape == (3, 2, 4)
+        y.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_getitem(self):
+        x = Tensor(RNG.random((4, 3)), requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1:3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_fancy_index_accumulates(self):
+        x = Tensor(RNG.random(4), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_pad2d(self):
+        x = Tensor(RNG.random((1, 1, 3, 3)), requires_grad=True)
+        y = x.pad2d(2)
+        assert y.shape == (1, 1, 7, 7)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 3, 3)))
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(RNG.random((1, 1, 3, 3)))
+        assert x.pad2d(0) is x
+
+    def test_flatten_from(self):
+        x = Tensor(RNG.random((2, 3, 4, 5)))
+        assert x.flatten_from(1).shape == (2, 60)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda x: x.sum(), RNG.random((3, 4)))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: x.sum(axis=0), RNG.random((3, 4)))
+
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda x: x.sum(axis=1, keepdims=True), RNG.random((3, 4)))
+
+    def test_sum_negative_axis(self):
+        check_gradient(lambda x: x.sum(axis=-1), RNG.random((2, 3)))
+
+    def test_mean(self):
+        check_gradient(lambda x: x.mean(), RNG.random((3, 4)))
+
+    def test_mean_axes_tuple(self):
+        check_gradient(lambda x: x.mean(axis=(0, 2)), RNG.random((2, 3, 4)))
+
+    def test_var(self):
+        check_gradient(lambda x: x.var(axis=1), RNG.random((3, 5)))
+
+    def test_max_all(self):
+        x = RNG.random((3, 4))
+        check_gradient(lambda t: t.max(), x)
+
+    def test_max_axis(self):
+        x = RNG.random((3, 4))
+        check_gradient(lambda t: t.max(axis=1), x)
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestGraphSemantics:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+
+    def test_no_grad_restores_state(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_diamond_graph_gradient(self):
+        # f(x) = (x*2) + (x*3) -> df/dx = 5
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        ((x * 2) + (x * 3)).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_deep_chain_does_not_overflow(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3) * 2, requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        (out * np.array([[1.0], [2.0]])).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, 2 * np.ones(3))
+
+    def test_concat_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concat([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((3, 2)))
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_comparison_returns_numpy(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        result = a > 2.0
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_array_equal(result, [False, True])

@@ -1,0 +1,141 @@
+"""Unit tests for BPR sampling and the Recommender base API."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.data.interactions import ImplicitFeedback
+from repro.recommenders import BPRMF, BPRMFConfig, BPRTripletSampler, sigmoid
+
+
+@pytest.fixture(scope="module")
+def feedback():
+    return tiny_dataset(seed=0, image_size=16).feedback
+
+
+class TestSampler:
+    def test_shapes(self, feedback):
+        sampler = BPRTripletSampler(feedback, seed=0)
+        users, positives, negatives = sampler.sample(100)
+        assert users.shape == positives.shape == negatives.shape == (100,)
+
+    def test_positives_are_train_interactions(self, feedback):
+        sampler = BPRTripletSampler(feedback, seed=1)
+        users, positives, _ = sampler.sample(500)
+        positive_sets = feedback.positive_sets()
+        for user, item in zip(users, positives):
+            assert item in positive_sets[user]
+
+    def test_negatives_not_in_positives(self, feedback):
+        sampler = BPRTripletSampler(feedback, seed=2)
+        users, _, negatives = sampler.sample(500)
+        positive_sets = feedback.positive_sets()
+        for user, item in zip(users, negatives):
+            assert item not in positive_sets[user]
+
+    def test_deterministic_given_seed(self, feedback):
+        a = BPRTripletSampler(feedback, seed=3).sample(50)
+        b = BPRTripletSampler(feedback, seed=3).sample(50)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_batch_size(self, feedback):
+        with pytest.raises(ValueError):
+            BPRTripletSampler(feedback).sample(0)
+
+    def test_empty_feedback_rejected(self):
+        empty = ImplicitFeedback(
+            num_users=1,
+            num_items=3,
+            train_items=[np.zeros(0, dtype=np.int64)],
+            test_items=np.array([-1]),
+        )
+        with pytest.raises(ValueError):
+            BPRTripletSampler(empty)
+
+    def test_degenerate_user_with_all_items(self):
+        fb = ImplicitFeedback(
+            num_users=1,
+            num_items=3,
+            train_items=[np.array([0, 1, 2])],
+            test_items=np.array([-1]),
+        )
+        sampler = BPRTripletSampler(fb, seed=0)
+        users, positives, negatives = sampler.sample(10)  # must not hang
+        assert len(negatives) == 10
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_finite(self):
+        out = sigmoid(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones(11), atol=1e-12)
+
+
+class TestRecommenderAPI:
+    def test_unfitted_raises(self, feedback):
+        model = BPRMF(feedback.num_users, feedback.num_items)
+        with pytest.raises(RuntimeError):
+            model.score_all()
+        with pytest.raises(RuntimeError):
+            model.top_n(5)
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            BPRMF(0, 10)
+
+    def test_top_n_excludes_train_positives(self, feedback):
+        model = BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=2)
+        ).fit(feedback)
+        lists = model.top_n(10, feedback=feedback)
+        for user in range(feedback.num_users):
+            overlap = set(lists[user].tolist()) & set(feedback.train_items[user].tolist())
+            assert not overlap
+
+    def test_top_n_sorted_by_score(self, feedback):
+        model = BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=2)
+        ).fit(feedback)
+        scores = model.score_all()
+        lists = model.top_n(10)
+        for user in range(5):
+            row = scores[user][lists[user]]
+            assert np.all(np.diff(row) <= 1e-12)
+
+    def test_top_n_with_custom_scores(self, feedback):
+        model = BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=1)
+        ).fit(feedback)
+        custom = np.zeros((feedback.num_users, feedback.num_items))
+        custom[:, 7] = 1.0
+        lists = model.top_n(1, scores=custom)
+        assert np.all(lists[:, 0] == 7)
+
+    def test_top_n_caps_at_num_items(self, feedback):
+        model = BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=1)
+        ).fit(feedback)
+        lists = model.top_n(10_000)
+        assert lists.shape == (feedback.num_users, feedback.num_items)
+
+    def test_top_n_invalid_n(self, feedback):
+        model = BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=1)
+        ).fit(feedback)
+        with pytest.raises(ValueError):
+            model.top_n(0)
+
+    def test_top_n_wrong_score_shape(self, feedback):
+        model = BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=1)
+        ).fit(feedback)
+        with pytest.raises(ValueError):
+            model.top_n(5, scores=np.zeros((2, 2)))

@@ -1,0 +1,136 @@
+"""Unit tests for ranking evaluation (HR/nDCG/AUC, per-item ranks)."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import ImplicitFeedback
+from repro.recommenders import BPRMF, BPRMFConfig, evaluate_ranking
+from repro.recommenders.evaluation import RankingReport, recommendation_rank_of_item
+
+
+def make_feedback():
+    """2 users, 6 items; user0 tests item 3, user1 tests item 5."""
+    return ImplicitFeedback(
+        num_users=2,
+        num_items=6,
+        train_items=[np.array([0, 1]), np.array([2])],
+        test_items=np.array([3, 5]),
+    )
+
+
+def fitted_dummy(feedback):
+    model = BPRMF(feedback.num_users, feedback.num_items, BPRMFConfig(epochs=1))
+    model._fitted = True
+    return model
+
+
+class TestEvaluateRanking:
+    def test_perfect_scores_hit(self):
+        fb = make_feedback()
+        model = fitted_dummy(fb)
+        scores = np.zeros((2, 6))
+        scores[0, 3] = 10.0
+        scores[1, 5] = 10.0
+        report = evaluate_ranking(model, fb, cutoff=1, scores=scores)
+        assert report.hit_ratio == 1.0
+        assert report.ndcg == pytest.approx(1.0)
+        assert report.auc == pytest.approx(1.0)
+
+    def test_worst_scores_miss(self):
+        fb = make_feedback()
+        model = fitted_dummy(fb)
+        scores = np.ones((2, 6))
+        scores[0, 3] = -10.0
+        scores[1, 5] = -10.0
+        report = evaluate_ranking(model, fb, cutoff=1, scores=scores)
+        assert report.hit_ratio == 0.0
+        assert report.auc == pytest.approx(0.0)
+
+    def test_train_items_do_not_block_test_item(self):
+        """Even if train positives score higher, they are excluded."""
+        fb = make_feedback()
+        model = fitted_dummy(fb)
+        scores = np.zeros((2, 6))
+        scores[0] = [99.0, 98.0, 0.0, 5.0, 1.0, 0.5]  # items 0,1 are train
+        scores[1, 5] = 10.0
+        report = evaluate_ranking(model, fb, cutoff=1, scores=scores)
+        assert report.hit_ratio == 1.0
+
+    def test_users_without_test_item_skipped(self):
+        fb = ImplicitFeedback(
+            num_users=2,
+            num_items=4,
+            train_items=[np.array([0]), np.array([1])],
+            test_items=np.array([2, -1]),
+        )
+        model = fitted_dummy(fb)
+        report = evaluate_ranking(model, fb, cutoff=2, scores=np.zeros((2, 4)))
+        assert report.num_evaluated_users == 1
+
+    def test_no_test_items_returns_zeros(self):
+        fb = ImplicitFeedback(
+            num_users=1,
+            num_items=3,
+            train_items=[np.array([0])],
+            test_items=np.array([-1]),
+        )
+        model = fitted_dummy(fb)
+        report = evaluate_ranking(model, fb, scores=np.zeros((1, 3)))
+        assert report.num_evaluated_users == 0
+        assert report.hit_ratio == 0.0
+
+    def test_tie_handling_uses_mid_rank(self):
+        fb = ImplicitFeedback(
+            num_users=1,
+            num_items=5,
+            train_items=[np.array([0])],
+            test_items=np.array([1]),
+        )
+        model = fitted_dummy(fb)
+        report = evaluate_ranking(model, fb, cutoff=2, scores=np.zeros((1, 5)))
+        # All four candidates tie; mid-rank = 2 (ties // 2 + 1) -> hit at cutoff 2.
+        assert report.hit_ratio == 1.0
+
+    def test_cutoff_validation(self):
+        fb = make_feedback()
+        with pytest.raises(ValueError):
+            evaluate_ranking(fitted_dummy(fb), fb, cutoff=0, scores=np.zeros((2, 6)))
+
+    def test_score_shape_validation(self):
+        fb = make_feedback()
+        with pytest.raises(ValueError):
+            evaluate_ranking(fitted_dummy(fb), fb, scores=np.zeros((1, 6)))
+
+    def test_as_dict_keys(self):
+        report = RankingReport(0.5, 0.4, 0.7, 10, 3)
+        d = report.as_dict()
+        assert d["HR@10"] == 0.5
+        assert d["AUC"] == 0.7
+
+
+class TestRankOfItem:
+    def test_best_item_rank_one(self):
+        fb = make_feedback()
+        scores = np.zeros((2, 6))
+        scores[:, 4] = 5.0
+        ranks = recommendation_rank_of_item(scores, fb, item_id=4)
+        assert np.all(ranks == 1)
+
+    def test_train_positive_users_excluded(self):
+        fb = make_feedback()
+        scores = np.zeros((2, 6))
+        ranks = recommendation_rank_of_item(scores, fb, item_id=0)
+        assert ranks[0] == 0  # user 0 interacted with item 0
+
+    def test_rank_counts_only_non_train_items(self):
+        fb = make_feedback()
+        scores = np.zeros((2, 6))
+        scores[0] = [9.0, 8.0, 1.0, 2.0, 3.0, 0.0]
+        # For user 0, items 0 and 1 are train; item 5 is beaten by 2,3,4.
+        ranks = recommendation_rank_of_item(scores, fb, item_id=5)
+        assert ranks[0] == 4
+
+    def test_out_of_range_item(self):
+        fb = make_feedback()
+        with pytest.raises(ValueError):
+            recommendation_rank_of_item(np.zeros((2, 6)), fb, item_id=6)

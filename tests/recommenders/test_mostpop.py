@@ -1,0 +1,48 @@
+"""Unit tests for the MostPop baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.recommenders import MostPop, evaluate_ranking
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=0, image_size=16)
+
+
+class TestMostPop:
+    def test_scores_are_popularity(self, dataset):
+        model = MostPop(dataset.num_users, dataset.num_items).fit(dataset.feedback)
+        scores = model.score_all()
+        counts = dataset.feedback.item_interaction_counts()
+        np.testing.assert_allclose(scores[0], counts)
+        np.testing.assert_allclose(scores[5], counts)
+
+    def test_same_ranking_for_all_users_before_filtering(self, dataset):
+        model = MostPop(dataset.num_users, dataset.num_items).fit(dataset.feedback)
+        lists = model.top_n(5)  # no feedback filter
+        assert np.all(lists == lists[0])
+
+    def test_ranking_quality_above_chance(self, dataset):
+        model = MostPop(dataset.num_users, dataset.num_items).fit(dataset.feedback)
+        report = evaluate_ranking(model, dataset.feedback, cutoff=10)
+        assert report.auc > 0.5
+
+    def test_unfitted_raises(self, dataset):
+        with pytest.raises(RuntimeError):
+            MostPop(dataset.num_users, dataset.num_items).score_all()
+
+    def test_wrong_universe(self, dataset):
+        with pytest.raises(ValueError):
+            MostPop(dataset.num_users + 1, dataset.num_items).fit(dataset.feedback)
+
+    def test_attack_immune_scores(self, dataset):
+        """MostPop ignores images: there is no feature pathway to attack."""
+        model = MostPop(dataset.num_users, dataset.num_items).fit(dataset.feedback)
+        before = model.score_all()
+        # "Attack" the catalog: scores cannot change because fit() consumed
+        # only interactions.
+        after = model.score_all()
+        np.testing.assert_array_equal(before, after)
