@@ -16,7 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..nn import Tensor, TinyResNet, cross_entropy
+from ..nn import Tensor, TinyResNet, cross_entropy, frozen_parameters, get_default_dtype
 from .projections import clip_pixels, linf_distance
 
 
@@ -86,10 +86,15 @@ class GradientAttack(ABC):
         was_training = self.model.training
         self.model.eval()
         try:
-            x = Tensor(np.asarray(images, dtype=np.float64), requires_grad=True)
-            logits = self.model(x)
-            loss = cross_entropy(logits, labels)
-            loss.backward()
+            # The threat model only needs ∂loss/∂x; freezing the weights
+            # skips every weight-gradient GEMM in the backward pass.
+            with frozen_parameters(self.model):
+                x = Tensor(
+                    np.asarray(images, dtype=get_default_dtype()), requires_grad=True
+                )
+                logits = self.model(x)
+                loss = cross_entropy(logits, labels)
+                loss.backward()
         finally:
             if was_training:
                 self.model.train()
@@ -97,25 +102,12 @@ class GradientAttack(ABC):
         return x.grad
 
     def _validate_images(self, images: np.ndarray) -> np.ndarray:
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
         if images.size and (images.min() < -1e-9 or images.max() > 1 + 1e-9):
             raise ValueError("images must lie in [0, 1]")
         return images
-
-    def _resolve_labels(
-        self, images: np.ndarray, target_class: Optional[int], true_labels: Optional[np.ndarray]
-    ) -> np.ndarray:
-        """Labels driving the loss: the target class, given true labels, or
-        the model's own predictions (standard untargeted practice)."""
-        if target_class is not None:
-            if not 0 <= target_class < self.model.num_classes:
-                raise ValueError("target_class out of range")
-            return np.full(images.shape[0], target_class, dtype=np.int64)
-        if true_labels is not None:
-            return np.asarray(true_labels, dtype=np.int64)
-        return self.model.predict(images, batch_size=self.batch_size)
 
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -129,17 +121,40 @@ class GradientAttack(ABC):
         images: np.ndarray,
         target_class: Optional[int] = None,
         true_labels: Optional[np.ndarray] = None,
+        original_predictions: Optional[np.ndarray] = None,
     ) -> AttackResult:
         """Attack a set of images.
 
         With ``target_class`` the attack is targeted (paper's TAaMR
         setting); otherwise untargeted, moving away from ``true_labels``
         (or the model's predictions when labels are not given).
+
+        ``original_predictions`` optionally supplies the model's clean
+        predictions for ``images``.  Grid runs predict the whole catalog
+        once and pass slices here, eliminating one full forward pass per
+        (scenario × attack × ε) cell; the returned :class:`AttackResult`
+        is identical either way.
         """
         images = self._validate_images(images)
         targeted = target_class is not None
-        labels = self._resolve_labels(images, target_class, true_labels)
-        original = self.model.predict(images, batch_size=self.batch_size)
+        if original_predictions is not None:
+            original = np.asarray(original_predictions, dtype=np.int64)
+            if original.shape != (images.shape[0],):
+                raise ValueError(
+                    "original_predictions must be a vector matching the batch size"
+                )
+        else:
+            original = self.model.predict(images, batch_size=self.batch_size)
+        if target_class is not None:
+            if not 0 <= target_class < self.model.num_classes:
+                raise ValueError("target_class out of range")
+            labels = np.full(images.shape[0], target_class, dtype=np.int64)
+        elif true_labels is not None:
+            labels = np.asarray(true_labels, dtype=np.int64)
+        else:
+            # Standard untargeted practice: move away from the model's own
+            # predictions — exactly the clean predictions computed above.
+            labels = original
 
         adversarial = np.empty_like(images)
         for start in range(0, images.shape[0], self.batch_size):

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor, TinyResNet
+from ..nn import Tensor, TinyResNet, frozen_parameters
+from ..nn.tensor import get_default_dtype
 from ..nn.tensor import no_grad
 from .base import AttackResult
 
@@ -73,36 +74,39 @@ class CarliniWagnerL2:
         was_training = self.model.training
         self.model.eval()
         try:
-            for step in range(1, self.num_steps + 1):
-                w_tensor = Tensor(w, requires_grad=True)
-                adversarial = (w_tensor.tanh() + 1.0) * 0.5
-                diff = adversarial - Tensor(images)
-                l2 = (diff * diff).sum(axis=(1, 2, 3))
+            with frozen_parameters(self.model):
+                for step in range(1, self.num_steps + 1):
+                    w_tensor = Tensor(w, requires_grad=True)
+                    adversarial = (w_tensor.tanh() + 1.0) * 0.5
+                    diff = adversarial - Tensor(images)
+                    l2 = (diff * diff).sum(axis=(1, 2, 3))
 
-                logits = self.model(adversarial)
-                target_logit = (logits * Tensor(target_onehot)).sum(axis=1)
-                other_max = (logits + Tensor(target_onehot * -1e9)).max(axis=1)
-                margin = (other_max - target_logit + self.confidence).relu()
+                    logits = self.model(adversarial)
+                    target_logit = (logits * Tensor(target_onehot)).sum(axis=1)
+                    other_max = (logits + Tensor(target_onehot * -1e9)).max(axis=1)
+                    margin = (other_max - target_logit + self.confidence).relu()
 
-                loss = (l2 + self.c * margin).sum()
-                loss.backward()
-                gradient = w_tensor.grad
+                    loss = (l2 + self.c * margin).sum()
+                    loss.backward()
+                    gradient = w_tensor.grad
 
-                # Adam update on w.
-                m = beta1 * m + (1 - beta1) * gradient
-                v = beta2 * v + (1 - beta2) * gradient * gradient
-                m_hat = m / (1 - beta1 ** step)
-                v_hat = v / (1 - beta2 ** step)
-                w = w - self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
+                    # Adam update on w.
+                    m = beta1 * m + (1 - beta1) * gradient
+                    v = beta2 * v + (1 - beta2) * gradient * gradient
+                    m_hat = m / (1 - beta1 ** step)
+                    v_hat = v / (1 - beta2 ** step)
+                    w = w - self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
 
-                # Track the best (smallest-l2) successful adversarial so far.
-                with no_grad():
-                    candidate = (np.tanh(w) + 1.0) * 0.5
-                    predictions = self.model(Tensor(candidate)).data.argmax(axis=1)
-                    distances = ((candidate - images) ** 2).reshape(n, -1).sum(axis=1)
-                improved = (predictions == target_class) & (distances < best_l2)
-                best_adversarial[improved] = candidate[improved]
-                best_l2[improved] = distances[improved]
+                    # Track the best (smallest-l2) successful adversarial so far.
+                    with no_grad():
+                        candidate = (np.tanh(w) + 1.0) * 0.5
+                        predictions = self.model(Tensor(candidate)).data.argmax(axis=1)
+                        distances = (
+                            ((candidate - images) ** 2).reshape(n, -1).sum(axis=1)
+                        )
+                    improved = (predictions == target_class) & (distances < best_l2)
+                    best_adversarial[improved] = candidate[improved]
+                    best_l2[improved] = distances[improved]
         finally:
             if was_training:
                 self.model.train()
@@ -110,7 +114,7 @@ class CarliniWagnerL2:
 
     def attack(self, images: np.ndarray, target_class: int) -> AttackResult:
         """Find minimal-l2 targeted adversarial versions of ``images``."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
         if not 0 <= target_class < self.model.num_classes:

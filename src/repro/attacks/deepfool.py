@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, frozen_parameters
+from ..nn.tensor import get_default_dtype
 from ..nn.classifier import ImageClassifier
 from ..nn.functional import one_hot
 from .base import AttackResult
@@ -46,13 +47,14 @@ class DeepFool:
         num_classes = self.model.num_classes
         jacobian = np.empty((num_classes,) + image.shape)
         logits_value = None
-        for cls in range(num_classes):
-            x = Tensor(image[None], requires_grad=True)
-            logits = self.model(x)
-            if logits_value is None:
-                logits_value = logits.data[0].copy()
-            logits.backward(one_hot(np.array([cls]), num_classes))
-            jacobian[cls] = x.grad[0]
+        with frozen_parameters(self.model):
+            for cls in range(num_classes):
+                x = Tensor(image[None], requires_grad=True)
+                logits = self.model(x)
+                if logits_value is None:
+                    logits_value = logits.data[0].copy()
+                logits.backward(one_hot(np.array([cls]), num_classes))
+                jacobian[cls] = x.grad[0]
         return logits_value, jacobian
 
     def _attack_single(self, image: np.ndarray) -> np.ndarray:
@@ -87,7 +89,7 @@ class DeepFool:
 
     def attack(self, images: np.ndarray) -> AttackResult:
         """Untargeted minimal-perturbation attack over an NCHW batch."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
 
@@ -115,5 +117,5 @@ class DeepFool:
     def margin_estimates(self, images: np.ndarray) -> np.ndarray:
         """Per-image l2 distance moved to cross the nearest boundary."""
         result = self.attack(images)
-        delta = result.adversarial_images - np.asarray(images, dtype=np.float64)
+        delta = result.adversarial_images - np.asarray(images, dtype=get_default_dtype())
         return np.sqrt((delta ** 2).reshape(delta.shape[0], -1).sum(axis=1))

@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Tensor, TinyResNet
+from ..nn import Tensor, TinyResNet, frozen_parameters
 from .base import AttackResult, GradientAttack
 from .projections import clip_pixels, project_linf, random_uniform_start
 
@@ -59,11 +59,12 @@ class ItemToItemAttack(GradientAttack):
         was_training = self.model.training
         self.model.eval()
         try:
-            x = Tensor(images, requires_grad=True)
-            feats = self.model.features(x)
-            diff = feats - Tensor(target_features)
-            loss = (diff * diff).sum()
-            loss.backward()
+            with frozen_parameters(self.model):
+                x = Tensor(images, requires_grad=True)
+                feats = self.model.features(x)
+                diff = feats - Tensor(target_features)
+                loss = (diff * diff).sum()
+                loss.backward()
         finally:
             if was_training:
                 self.model.train()
@@ -87,9 +88,7 @@ class ItemToItemAttack(GradientAttack):
             target_image = target_image[None]
         if target_image.shape[0] != 1:
             raise ValueError("target_image must be a single image")
-        target_features = self.model.extract_features(
-            np.asarray(target_image, dtype=np.float64)
-        )
+        target_features = self.model.extract_features(np.asarray(target_image))
         target_batch = np.repeat(target_features, images.shape[0], axis=0)
 
         original = self.model.predict(images, batch_size=self.batch_size)
@@ -105,7 +104,7 @@ class ItemToItemAttack(GradientAttack):
             current = project_linf(current, images, self.epsilon)
             current = clip_pixels(current)
 
-        target_prediction = int(self.model.predict(np.asarray(target_image, dtype=np.float64))[0])
+        target_prediction = int(self.model.predict(np.asarray(target_image))[0])
         result = AttackResult(
             adversarial_images=current,
             original_predictions=original,
@@ -118,10 +117,10 @@ class ItemToItemAttack(GradientAttack):
 
     def feature_distance(self, images: np.ndarray, target_image: np.ndarray) -> np.ndarray:
         """Per-image l2 feature distance to the target item."""
-        feats = self.model.extract_features(np.asarray(images, dtype=np.float64))
+        feats = self.model.extract_features(np.asarray(images))
         target = self.model.extract_features(
-            np.asarray(target_image, dtype=np.float64)[None]
+            np.asarray(target_image)[None]
             if target_image.ndim == 3
-            else np.asarray(target_image, dtype=np.float64)
+            else np.asarray(target_image)
         )
         return np.linalg.norm(feats - target, axis=1)

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, frozen_parameters
+from ..nn.tensor import get_default_dtype
 from ..nn.classifier import ImageClassifier
 from ..nn.functional import one_hot
 from .base import AttackResult
@@ -70,11 +71,12 @@ class JSMA:
         other_selector = 1.0 - target_selector
 
         grads = []
-        for selector in (target_selector, other_selector):
-            x = Tensor(image[None], requires_grad=True)
-            logits = self.model(x)
-            logits.backward(selector)
-            grads.append(x.grad[0])
+        with frozen_parameters(self.model):
+            for selector in (target_selector, other_selector):
+                x = Tensor(image[None], requires_grad=True)
+                logits = self.model(x)
+                logits.backward(selector)
+                grads.append(x.grad[0])
         return grads[0], grads[1]
 
     def _attack_single(self, image: np.ndarray, target_class: int) -> np.ndarray:
@@ -115,7 +117,7 @@ class JSMA:
 
     def attack(self, images: np.ndarray, target_class: int) -> AttackResult:
         """Targeted JSMA over an NCHW batch."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
         if not 0 <= target_class < self.model.num_classes:

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn.classifier import ImageClassifier
+from ..nn.tensor import get_default_dtype
 from .base import AttackResult
 from .projections import clip_pixels, project_linf
 
@@ -90,7 +91,7 @@ class NESAttack:
 
     def attack(self, images: np.ndarray, target_class: int) -> AttackResult:
         """Targeted attack on NCHW images using probability queries only."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
         if not 0 <= target_class < self.model.num_classes:

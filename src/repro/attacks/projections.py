@@ -56,5 +56,7 @@ def random_uniform_start(
     clean: np.ndarray, epsilon: float, rng: np.random.Generator
 ) -> np.ndarray:
     """Uniform random point inside the l∞ ε-ball (PGD's random init)."""
-    noise = rng.uniform(-epsilon, epsilon, size=clean.shape)
+    # Match the clean batch's dtype so a float32 attack is not silently
+    # promoted to float64 by the float64 RNG draw.
+    noise = rng.uniform(-epsilon, epsilon, size=clean.shape).astype(clean.dtype, copy=False)
     return clip_pixels(clean + noise)

@@ -7,11 +7,13 @@ Four subcommands cover the daily workflows::
     python -m repro attack  --dataset men --source sock --target running_shoe \
                             --attack pgd --eps 8 --model vbpr --save-images out.png
     python -m repro tables  --dataset men --scale 0.006
+    python -m repro bench   --scale 0.003 --out BENCH_perf_engine.json
 
 ``stats`` prints Table I-style dataset statistics; ``train`` builds (and
 optionally caches) the full experiment context; ``attack`` runs a single
 TAaMR attack and reports CHR / success / visual metrics; ``tables``
-regenerates the paper's Tables II-IV on one dataset.
+regenerates the paper's Tables II-IV on one dataset; ``bench`` times the
+engine's float64-baseline vs float32-optimized configurations.
 """
 
 from __future__ import annotations
@@ -146,6 +148,21 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import format_perf_report, run_perf_bench
+
+    payload = run_perf_bench(
+        scale=args.scale,
+        image_size=args.image_size,
+        repeats=args.repeats,
+        include_grid=not args.no_grid,
+        out_path=args.out,
+        verbose=not args.quiet,
+    )
+    print(format_perf_report(payload))
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     context = _build(args)
     grids = [run_attack_grid(context, name) for name in ("VBPR", "AMR")]
@@ -195,6 +212,22 @@ def build_parser() -> argparse.ArgumentParser:
     tables = subparsers.add_parser("tables", help="regenerate Tables II-IV")
     _add_common_arguments(tables)
     tables.set_defaults(handler=cmd_tables)
+
+    bench = subparsers.add_parser(
+        "bench", help="time the engine (float64 baseline vs float32 optimized)"
+    )
+    bench.add_argument("--scale", type=float, default=0.003, help="dataset scale factor")
+    bench.add_argument("--image-size", type=int, default=24, help="catalog image size")
+    bench.add_argument("--repeats", type=int, default=3, help="timed repetitions per stage")
+    bench.add_argument(
+        "--no-grid", action="store_true",
+        help="skip the full attack-grid timing (micro benchmarks only)",
+    )
+    bench.add_argument(
+        "--out", default=None, help="write the JSON report to this path"
+    )
+    bench.add_argument("--quiet", action="store_true", help="suppress progress logs")
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

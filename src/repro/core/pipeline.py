@@ -54,7 +54,7 @@ class AttackOutcome:
     visual: VisualQuality
     attacked_item_ids: np.ndarray
     adversarial_images: np.ndarray
-    scores_after: np.ndarray = field(repr=False, default=None)
+    scores_after: Optional[np.ndarray] = field(repr=False, default=None)
 
     @property
     def chr_uplift(self) -> float:
@@ -117,12 +117,20 @@ class TAaMRPipeline:
         self.cutoff = min(cutoff, dataset.num_items)
 
         # Definition 5 uses classifier-assigned classes: I_c = {i | F(x_i) = c}.
-        self.item_classes = extractor.model.predict(dataset.images)
-        self.clean_features = extractor.transform(dataset.images)
+        # One trunk pass over the catalog yields both the classes and the
+        # raw layer-e features; the raw features are kept so PSM never has
+        # to re-extract the clean side, and are standardised once for the
+        # recommender.
+        self.item_classes, self.clean_raw_features = extractor.model.predict_with_features(
+            dataset.images, batch_size=extractor.batch_size
+        )
+        self.clean_features = extractor.transform_raw_features(self.clean_raw_features)
         self.clean_scores = recommender.score_all(features=self.clean_features)
         self.clean_top_n = recommender.top_n(
             self.cutoff, feedback=dataset.feedback, scores=self.clean_scores
         )
+        self._category_items_cache: Dict[str, np.ndarray] = {}
+        self._category_items_for = self.item_classes
 
     # ------------------------------------------------------------------ #
     # Clean-model views
@@ -132,9 +140,20 @@ class TAaMRPipeline:
         return chr_report(self.clean_top_n, self.item_classes, self.dataset.registry.names)
 
     def category_items(self, category_name: str) -> np.ndarray:
-        """I_c per Definition 5 (classifier-predicted membership)."""
-        class_id = self.dataset.registry.by_name(category_name).category_id
-        return np.flatnonzero(self.item_classes == class_id)
+        """I_c per Definition 5 (classifier-predicted membership).
+
+        Memoised per category; the cache resets if ``item_classes`` is
+        replaced (tests forge alternative assignments that way).
+        """
+        if self._category_items_for is not self.item_classes:
+            self._category_items_cache.clear()
+            self._category_items_for = self.item_classes
+        cached = self._category_items_cache.get(category_name)
+        if cached is None:
+            class_id = self.dataset.registry.by_name(category_name).category_id
+            cached = np.flatnonzero(self.item_classes == class_id)
+            self._category_items_cache[category_name] = cached
+        return cached
 
     def _chr_percent_of_items(self, item_ids: np.ndarray, top_n: np.ndarray) -> float:
         return 100.0 * category_hit_ratio(top_n, item_ids)
@@ -159,11 +178,23 @@ class TAaMRPipeline:
         target_items = self.category_items(scenario.target)
 
         clean_images = self.dataset.images[source_items]
-        result: AttackResult = attack.attack(clean_images, target_class=target_class)
+        # The catalog was classified once at construction; slicing those
+        # predictions saves the attack one full clean forward pass.
+        result: AttackResult = attack.attack(
+            clean_images,
+            target_class=target_class,
+            original_predictions=self.item_classes[source_items],
+        )
 
         # The deployed system re-extracts features from the swapped images.
+        # One extraction serves both the recommender (standardised) and the
+        # PSM metric (raw); the clean side comes from the cached catalog
+        # features instead of a second forward pass.
+        adversarial_raw = self.extractor.model.extract_features(
+            result.adversarial_images, batch_size=self.extractor.batch_size
+        )
         features_after = self.clean_features.copy()
-        features_after[source_items] = self.extractor.transform(result.adversarial_images)
+        features_after[source_items] = self.extractor.transform_raw_features(adversarial_raw)
         scores_after = self.recommender.score_all(features=features_after)
         top_after = self.recommender.top_n(
             self.cutoff, feedback=self.dataset.feedback, scores=scores_after
@@ -175,8 +206,7 @@ class TAaMRPipeline:
             psm=float(
                 np.mean(
                     psm_from_features(
-                        self.extractor.model.extract_features(clean_images),
-                        self.extractor.model.extract_features(result.adversarial_images),
+                        self.clean_raw_features[source_items], adversarial_raw
                     )
                 )
             ),

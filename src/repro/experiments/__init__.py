@@ -2,6 +2,7 @@
 
 from .config import ExperimentConfig, men_config, women_config
 from .context import ExperimentContext, build_context, clear_context_registry
+from .perf import BENCH_MODES, format_perf_report, run_perf_bench
 from .records import OutcomeRecord, grid_to_records, load_records, save_records
 from .runner import (
     AttackGrid,
@@ -31,4 +32,7 @@ __all__ = [
     "grid_to_records",
     "save_records",
     "load_records",
+    "BENCH_MODES",
+    "run_perf_bench",
+    "format_perf_report",
 ]

@@ -1,0 +1,243 @@
+"""Performance benchmark for the attack-grid engine.
+
+Times the hot paths of the reproduction — classifier forward, training
+backward, FGSM, PGD, and the full ``run_attack_grid`` — under two
+engine configurations measured in the same process:
+
+* ``float64_baseline`` — compute dtype float64 with conv+BN folding,
+  im2col workspace reuse and attack-time parameter freezing all off:
+  the engine as it behaved before the fast-attack-grid work;
+* ``float32_optimized`` — the shipping defaults (float32 policy,
+  eval-time conv+BN folding, workspace reuse, input-gradient-only
+  attack backward).
+
+Both modes run the *same* trained weights (cast losslessly between the
+two dtypes), so the speedup numbers isolate the engine changes from any
+training noise.  Results are written as JSON for regression tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..attacks import FGSM, PGD
+from ..data import amazon_men_like
+from ..features import ClassifierConfig, train_catalog_classifier
+from ..nn import (
+    Tensor,
+    compute_dtype,
+    conv_bn_folding,
+    cross_entropy,
+    parameter_freezing,
+    workspace_reuse,
+)
+from .config import men_config
+from .context import build_context, clear_context_registry
+from .runner import run_attack_grid
+
+#: The two engine configurations compared by the benchmark.  The baseline
+#: switches off every fast-attack-grid engine feature, not just the dtype:
+#: folding, workspace reuse and attack-time parameter freezing all arrived
+#: with that work, so the seed engine ran without them.
+BENCH_MODES = {
+    "float64_baseline": {
+        "dtype": np.float64,
+        "folding": False,
+        "workspace": False,
+        "freeze_params": False,
+    },
+    "float32_optimized": {
+        "dtype": np.float32,
+        "folding": True,
+        "workspace": True,
+        "freeze_params": True,
+    },
+}
+
+
+def _best_wall_time(fn: Callable[[], None], repeats: int) -> float:
+    """Best-of-``repeats`` wall time in seconds (one untimed warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timing(wall_s: float, ops: int, unit: str) -> Dict[str, float]:
+    return {
+        "wall_s": wall_s,
+        "ops_per_s": ops / wall_s if wall_s > 0 else float("inf"),
+        "ops_unit": unit,
+    }
+
+
+def run_perf_bench(
+    scale: float = 0.003,
+    image_size: int = 24,
+    repeats: int = 3,
+    include_grid: bool = True,
+    out_path: Optional[str] = None,
+    verbose: bool = False,
+) -> Dict:
+    """Run the engine benchmark; returns (and optionally writes) the report.
+
+    Parameters
+    ----------
+    scale / image_size:
+        Size of the synthetic catalog the benchmark trains on.
+    repeats:
+        Timed repetitions per measurement (best-of is reported).
+    include_grid:
+        Also time a full ``run_attack_grid`` per mode.  This is the
+        end-to-end tentpole number but costs tens of seconds; micro
+        benchmarks alone finish much faster.
+    out_path:
+        When given, the report is written there as JSON.
+    """
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    def log(message: str) -> None:
+        if verbose:
+            print(f"[bench] {message}", flush=True)
+
+    dataset = amazon_men_like(scale=scale, image_size=image_size, seed=1)
+    model, report = train_catalog_classifier(
+        dataset.images,
+        dataset.item_categories,
+        dataset.num_categories,
+        widths=(8, 16),
+        blocks_per_stage=(1, 1),
+        config=ClassifierConfig(epochs=12, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    log(f"classifier trained: accuracy {report.final_train_accuracy:.3f}")
+
+    images = dataset.images
+    target = int(dataset.item_categories[0])
+    batch = images[:32]
+    batch_labels = np.asarray(dataset.item_categories[:32], dtype=np.int64)
+
+    grid_context = None
+    if include_grid:
+        # One trained context serves both modes: the classifier is cast
+        # losslessly per mode, so grid timings compare identical weights.
+        clear_context_registry()
+        grid_context = build_context(men_config(scale=scale, image_size=image_size))
+        log("attack-grid context trained")
+
+    results: Dict[str, Dict] = {}
+    for mode_name, mode in BENCH_MODES.items():
+        dtype = np.dtype(mode["dtype"])
+        log(
+            f"mode {mode_name}: dtype={dtype.name} folding={mode['folding']} "
+            f"workspace={mode['workspace']} freeze_params={mode['freeze_params']}"
+        )
+        with compute_dtype(dtype), conv_bn_folding(mode["folding"]), workspace_reuse(
+            mode["workspace"]
+        ), parameter_freezing(mode["freeze_params"]):
+            model.to_dtype(dtype)
+
+            def forward() -> None:
+                model.predict_proba(images)
+
+            def backward() -> None:
+                model.train()
+                try:
+                    x = Tensor(np.asarray(batch, dtype=dtype))
+                    cross_entropy(model(x), batch_labels).backward()
+                finally:
+                    model.eval()
+
+            def fgsm() -> None:
+                FGSM(model, 8 / 255).attack(batch, target_class=target)
+
+            def pgd() -> None:
+                PGD(model, 8 / 255, num_steps=10, seed=0).attack(
+                    batch, target_class=target
+                )
+
+            mode_report = {
+                "dtype": dtype.name,
+                "conv_bn_folding": bool(mode["folding"]),
+                "workspace_reuse": bool(mode["workspace"]),
+                "parameter_freezing": bool(mode["freeze_params"]),
+                "forward": _timing(
+                    _best_wall_time(forward, repeats), images.shape[0], "images/s"
+                ),
+                "backward": _timing(
+                    _best_wall_time(backward, repeats), batch.shape[0], "images/s"
+                ),
+                "fgsm": _timing(
+                    _best_wall_time(fgsm, repeats), batch.shape[0], "images/s"
+                ),
+                "pgd": _timing(
+                    _best_wall_time(pgd, repeats), batch.shape[0], "images/s"
+                ),
+            }
+
+            if grid_context is not None:
+                # The recommenders compute in plain float64 numpy either
+                # way; the engine mode governs every CNN pass the grid
+                # makes (catalog scan, attacks, re-extraction).
+                grid_context.classifier.to_dtype(dtype)
+                start = time.perf_counter()
+                grid = run_attack_grid(grid_context, "VBPR", use_cache=False)
+                wall = time.perf_counter() - start
+                mode_report["attack_grid"] = _timing(wall, len(grid.outcomes), "cells/s")
+                log(f"  attack_grid: {wall:.2f}s for {len(grid.outcomes)} cells")
+
+        results[mode_name] = mode_report
+
+    # Leave the models in the shipping configuration.
+    model.to_dtype(np.float32)
+    if grid_context is not None:
+        grid_context.classifier.to_dtype(np.float32)
+
+    speedup = {}
+    baseline, optimized = results["float64_baseline"], results["float32_optimized"]
+    for key in ("forward", "backward", "fgsm", "pgd", "attack_grid"):
+        if key in baseline and key in optimized:
+            speedup[key] = baseline[key]["wall_s"] / optimized[key]["wall_s"]
+
+    payload = {
+        "benchmark": "perf_engine",
+        "config": {
+            "scale": scale,
+            "image_size": image_size,
+            "repeats": repeats,
+            "catalog_images": int(images.shape[0]),
+            "attack_batch": int(batch.shape[0]),
+            "include_grid": include_grid,
+        },
+        "modes": results,
+        "speedup": speedup,
+    }
+
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        log(f"report written to {out_path}")
+    return payload
+
+
+def format_perf_report(payload: Dict) -> str:
+    """Human-readable summary of a :func:`run_perf_bench` report."""
+    lines = ["Perf engine benchmark (best-of wall times)"]
+    keys = [k for k in ("forward", "backward", "fgsm", "pgd", "attack_grid")
+            if k in payload["speedup"]]
+    lines.append(f"{'stage':12s} {'float64 (s)':>12s} {'float32 (s)':>12s} {'speedup':>9s}")
+    for key in keys:
+        base = payload["modes"]["float64_baseline"][key]["wall_s"]
+        opt = payload["modes"]["float32_optimized"][key]["wall_s"]
+        lines.append(
+            f"{key:12s} {base:12.4f} {opt:12.4f} {payload['speedup'][key]:8.2f}x"
+        )
+    return "\n".join(lines)

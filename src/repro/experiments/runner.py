@@ -8,6 +8,7 @@ from one set of attack executions.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -17,7 +18,11 @@ from ..attacks.projections import epsilon_from_255
 from ..core import AttackOutcome, AttackScenario, TAaMRPipeline, paper_scenarios
 from .context import ExperimentContext
 
-_GRID_CACHE: Dict[Tuple[str, str], "AttackGrid"] = {}
+# LRU-bounded: each grid pins a pipeline (full catalog features, scores
+# and adversarial images), so an unbounded cache grows without limit in
+# long sessions sweeping many configs.
+_GRID_CACHE: "OrderedDict[Tuple[str, str], AttackGrid]" = OrderedDict()
+_GRID_CACHE_MAX_ENTRIES = 4
 
 
 @dataclass
@@ -65,6 +70,7 @@ def run_attack_grid(
     """Attack one recommender across all scenarios, attacks and budgets."""
     cache_key = (context.config.cache_key(), recommender_name.upper())
     if use_cache and scenarios is None and epsilons_255 is None and cache_key in _GRID_CACHE:
+        _GRID_CACHE.move_to_end(cache_key)
         return _GRID_CACHE[cache_key]
 
     recommender = context.recommender(recommender_name)
@@ -95,8 +101,16 @@ def run_attack_grid(
         outcomes=outcomes,
     )
     if use_cache and scenarios is None and epsilons_255 is None:
-        _GRID_CACHE[cache_key] = grid
+        _cache_store(cache_key, grid)
     return grid
+
+
+def _cache_store(cache_key: Tuple[str, str], grid: AttackGrid) -> None:
+    """Insert a grid into the LRU cache, evicting the oldest past the bound."""
+    _GRID_CACHE[cache_key] = grid
+    _GRID_CACHE.move_to_end(cache_key)
+    while len(_GRID_CACHE) > _GRID_CACHE_MAX_ENTRIES:
+        _GRID_CACHE.popitem(last=False)
 
 
 def clear_grid_cache() -> None:

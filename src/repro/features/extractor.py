@@ -50,17 +50,26 @@ class FeatureExtractor:
 
     def fit(self, images: np.ndarray) -> "FeatureExtractor":
         """Learn standardisation statistics on the (clean) catalog."""
-        raw = self.model.extract_features(images, batch_size=self.batch_size)
+        raw = self.extract_raw(images)
         if self.standardize:
             self._mean = raw.mean(axis=0)
             scale = raw.std(axis=0)
             self._scale = np.where(scale > 1e-8, scale, 1.0)
         return self
 
+    def extract_raw(self, images: np.ndarray) -> np.ndarray:
+        """Un-standardised layer-``e`` features, always float64.
+
+        The CNN may compute in float32 (the ``repro.nn`` policy); the
+        recommender stack works in float64, so features are upcast once
+        here and all downstream statistics stay exact.
+        """
+        raw = self.model.extract_features(images, batch_size=self.batch_size)
+        return np.asarray(raw, dtype=np.float64)
+
     def transform(self, images: np.ndarray) -> np.ndarray:
         """Extract features for NCHW images; applies fitted standardisation."""
-        raw = self.model.extract_features(images, batch_size=self.batch_size)
-        return self._apply_standardisation(raw)
+        return self._apply_standardisation(self.extract_raw(images))
 
     def fit_transform(self, images: np.ndarray) -> np.ndarray:
         return self.fit(images).transform(images)

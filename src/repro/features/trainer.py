@@ -14,7 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy, no_grad
+from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy, get_default_dtype, no_grad
 from ..nn.layers import BatchNorm2d, Module
 from ..nn.optim import CosineAnnealingLR
 
@@ -31,15 +31,17 @@ def recalibrate_batchnorm(model: Module, images: np.ndarray, batch_size: int = 2
     bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
     if not bn_layers:
         return
-    sums = [np.zeros(bn.num_features) for bn in bn_layers]
-    square_sums = [np.zeros(bn.num_features) for bn in bn_layers]
+    sums = [np.zeros(bn.num_features, dtype=np.float64) for bn in bn_layers]
+    square_sums = [np.zeros(bn.num_features, dtype=np.float64) for bn in bn_layers]
     batch_count = 0
     original_momentum = [bn.momentum for bn in bn_layers]
     model.train()
     try:
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
-                batch = Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64))
+                batch = Tensor(
+                    np.asarray(images[start : start + batch_size], dtype=get_default_dtype())
+                )
                 for bn in bn_layers:
                     bn.momentum = 1.0  # running stats := this batch's stats
                 model(batch)
@@ -52,8 +54,11 @@ def recalibrate_batchnorm(model: Module, images: np.ndarray, batch_size: int = 2
             bn.momentum = momentum
         model.eval()
     for idx, bn in enumerate(bn_layers):
-        bn.running_mean = sums[idx] / batch_count
-        bn.running_var = square_sums[idx] / batch_count
+        # Accumulate in float64 for accuracy, but store in the buffer's own
+        # dtype so a save/load roundtrip reproduces the exact same stats.
+        stats_dtype = bn.running_mean.dtype
+        bn.running_mean = (sums[idx] / batch_count).astype(stats_dtype)
+        bn.running_var = (square_sums[idx] / batch_count).astype(stats_dtype)
 
 
 @dataclass
@@ -104,7 +109,7 @@ class ClassifierTrainer:
         eval_labels: Optional[np.ndarray] = None,
     ) -> TrainingReport:
         """Train on ``(images, labels)``; optionally evaluate on a held-out set."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
@@ -171,7 +176,7 @@ class ClassifierTrainer:
         )
         if eval_images is not None and eval_labels is not None:
             report.final_eval_accuracy = accuracy(
-                self.model.predict_proba(np.asarray(eval_images, dtype=np.float64)),
+                self.model.predict_proba(np.asarray(eval_images)),
                 np.asarray(eval_labels, dtype=np.int64),
             )
         return report

@@ -19,14 +19,32 @@ from .layers import (
     Parameter,
     ReLU,
     Sequential,
+    conv_bn_folding,
+    conv_bn_folding_enabled,
+    conv_bn_forward,
+    fold_conv_bn,
+    frozen_parameters,
+    parameter_freezing,
+    set_conv_bn_folding,
+    set_parameter_freezing,
 )
+from .functional import Im2colWorkspace, set_workspace_reuse, workspace_reuse
 from .losses import accuracy, cross_entropy, mse, soft_cross_entropy
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .classifier import ImageClassifier
 from .resnet import ResidualBlock, TinyResNet
 from .simplecnn import SimpleCNN
 from .serialization import load_state, save_state
-from .tensor import Tensor, as_tensor, concat, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    compute_dtype,
+    concat,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+    stack,
+)
 
 __all__ = [
     "Tensor",
@@ -34,6 +52,20 @@ __all__ = [
     "concat",
     "stack",
     "no_grad",
+    "compute_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "conv_bn_folding",
+    "conv_bn_folding_enabled",
+    "conv_bn_forward",
+    "fold_conv_bn",
+    "frozen_parameters",
+    "parameter_freezing",
+    "set_parameter_freezing",
+    "set_conv_bn_folding",
+    "Im2colWorkspace",
+    "workspace_reuse",
+    "set_workspace_reuse",
     "functional",
     "Module",
     "Parameter",

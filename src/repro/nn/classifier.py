@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Tuple
+
 from . import functional as F
 from .layers import Module
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, get_default_dtype, no_grad
 
 
 class ImageClassifier(Module):
@@ -57,13 +59,14 @@ class ImageClassifier(Module):
 
     def predict_proba(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Softmax class probabilities for NCHW images (eval mode)."""
+        dtype = get_default_dtype()
         was_training = self.training
         self.eval()
         try:
             chunks = []
             with no_grad():
                 for start in range(0, images.shape[0], batch_size):
-                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64))
+                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=dtype))
                     chunks.append(F.softmax(self.forward(batch), axis=1).data)
         finally:
             if was_training:
@@ -72,15 +75,50 @@ class ImageClassifier(Module):
 
     def extract_features(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Layer-``e`` features for NCHW images (eval mode, no grad)."""
+        dtype = get_default_dtype()
         was_training = self.training
         self.eval()
         try:
             chunks = []
             with no_grad():
                 for start in range(0, images.shape[0], batch_size):
-                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64))
+                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=dtype))
                     chunks.append(self.features(batch).data)
         finally:
             if was_training:
                 self.train()
         return np.concatenate(chunks, axis=0) if chunks else np.zeros((0, self.feature_dim))
+
+    def predict_with_features(
+        self, images: np.ndarray, batch_size: int = 64
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(predicted classes, layer-e features)`` from ONE trunk pass.
+
+        The attack pipeline needs both the classifier-assigned category
+        of every item (Definition 5) and its recommender features; doing
+        them together halves the clean-catalog forward cost.
+        """
+        dtype = get_default_dtype()
+        was_training = self.training
+        self.eval()
+        try:
+            class_chunks = []
+            feature_chunks = []
+            with no_grad():
+                for start in range(0, images.shape[0], batch_size):
+                    batch = Tensor(np.asarray(images[start : start + batch_size], dtype=dtype))
+                    logits, feats = self.forward_with_features(batch)
+                    class_chunks.append(logits.data.argmax(axis=1))
+                    feature_chunks.append(feats.data)
+        finally:
+            if was_training:
+                self.train()
+        if not class_chunks:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, self.feature_dim)),
+            )
+        return (
+            np.concatenate(class_chunks, axis=0),
+            np.concatenate(feature_chunks, axis=0),
+        )

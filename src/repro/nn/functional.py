@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 # --------------------------------------------------------------------- #
 # im2col / col2im lowering
@@ -25,13 +25,91 @@ def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return (size + 2 * pad - kernel) // stride + 1
 
 
+_WORKSPACE_REUSE = True
+
+
+def set_workspace_reuse(enabled: bool) -> bool:
+    """Globally enable/disable im2col workspace reuse; returns previous.
+
+    With reuse off every :meth:`Im2colWorkspace.acquire` returns ``None``
+    and conv/pool lowering falls back to fresh allocations — the seed
+    engine's behaviour, kept reachable for benchmarking.
+    """
+    global _WORKSPACE_REUSE
+    previous = _WORKSPACE_REUSE
+    _WORKSPACE_REUSE = bool(enabled)
+    return previous
+
+
+class workspace_reuse:
+    """Context manager pinning the workspace-reuse flag."""
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+
+    def __enter__(self) -> "workspace_reuse":
+        self._previous = set_workspace_reuse(self._enabled)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_workspace_reuse(self._previous)
+
+
+class Im2colWorkspace:
+    """Reusable scratch buffer for im2col column matrices.
+
+    Iterative attacks (10 PGD steps) and batched inference loops lower
+    identically-shaped inputs over and over; reusing one buffer per conv
+    layer removes a large allocation + page-fault cost from every step.
+
+    The buffer is handed out exclusively: while a recorded backward pass
+    still owes a weight gradient computed from the columns, ``acquire``
+    returns ``None`` and the caller falls back to a fresh allocation, so
+    overlapping forwards (e.g. two forwards before one backward) stay
+    correct.
+    """
+
+    __slots__ = ("_buffer", "_in_use", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._buffer: Optional[np.ndarray] = None
+        self._in_use = False
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype: np.dtype) -> Optional[np.ndarray]:
+        """Borrow the scratch buffer, reallocating on shape/dtype change."""
+        if self._in_use or not _WORKSPACE_REUSE:
+            return None
+        if (
+            self._buffer is None
+            or self._buffer.shape != shape
+            or self._buffer.dtype != dtype
+        ):
+            self._buffer = np.empty(shape, dtype=dtype)
+            self.misses += 1
+        else:
+            self.hits += 1
+        self._in_use = True
+        return self._buffer
+
+    def release(self) -> None:
+        self._in_use = False
+
+
 def im2col(
-    images: np.ndarray, kernel: int, stride: int, pad: int
+    images: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int,
+    out: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Lower NCHW image patches into a 2-D matrix of flattened windows.
 
     Returns a matrix of shape ``(N * H_out * W_out, C * kernel * kernel)``
-    and the output spatial size ``(H_out, W_out)``.
+    and the output spatial size ``(H_out, W_out)``.  When ``out`` (a
+    ``(N, H_out, W_out, C, K, K)`` buffer) is given, the window copy is
+    written into it and the returned matrix is a view — no allocation.
     """
     n, c, h, w = images.shape
     h_out = _out_size(h, kernel, stride, pad)
@@ -58,9 +136,17 @@ def im2col(
         ),
         writeable=False,
     )
-    # (N, H_out, W_out, C, K, K) -> rows indexed by (n, y, x)
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * h_out * w_out, -1)
-    return np.ascontiguousarray(cols), (h_out, w_out)
+    # (N, H_out, W_out, C, K, K) -> rows indexed by (n, y, x).  The
+    # permuted view is non-contiguous, so materialising it is one copy
+    # either way; writing into ``out`` reuses the caller's buffer, and a
+    # bare ``reshape`` already yields a contiguous matrix BLAS accepts.
+    permuted = windows.transpose(0, 2, 3, 1, 4, 5)
+    if out is not None:
+        np.copyto(out, permuted)
+        cols = out.reshape(n * h_out * w_out, c * kernel * kernel)
+    else:
+        cols = permuted.reshape(n * h_out * w_out, c * kernel * kernel)
+    return cols, (h_out, w_out)
 
 
 def col2im(
@@ -100,10 +186,13 @@ def conv2d(
     bias: Optional[Tensor] = None,
     stride: int = 1,
     padding: int = 0,
+    workspace: Optional[Im2colWorkspace] = None,
 ) -> Tensor:
     """2-D convolution (cross-correlation) on an NCHW tensor.
 
     ``weight`` has shape ``(C_out, C_in, K, K)``; ``bias`` shape ``(C_out,)``.
+    ``workspace`` optionally supplies a reusable im2col scratch buffer
+    (see :class:`Im2colWorkspace`); output is bit-identical either way.
     """
     if images.ndim != 4:
         raise ValueError(f"conv2d expects NCHW input, got ndim={images.ndim}")
@@ -116,11 +205,18 @@ def conv2d(
         )
 
     n = images.shape[0]
-    cols, (h_out, w_out) = im2col(images.data, kernel, stride, padding)
+    h_out = _out_size(images.shape[2], kernel, stride, padding)
+    w_out = _out_size(images.shape[3], kernel, stride, padding)
+    buffer = (
+        workspace.acquire((n, h_out, w_out, c_in, kernel, kernel), images.data.dtype)
+        if workspace is not None
+        else None
+    )
+    cols, (h_out, w_out) = im2col(images.data, kernel, stride, padding, out=buffer)
     w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*K*K)
     out_mat = cols @ w_mat.T  # (N*H_out*W_out, C_out)
     if bias is not None:
-        out_mat = out_mat + bias.data
+        out_mat += bias.data
     out_data = out_mat.reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
 
     image_shape = images.shape
@@ -135,9 +231,15 @@ def conv2d(
         if images.requires_grad:
             gcols = grad_mat @ w_mat
             images._accumulate(col2im(gcols, image_shape, kernel, stride, padding))
+        if buffer is not None:
+            workspace.release()
 
     parents = (images, weight) if bias is None else (images, weight, bias)
-    return Tensor._make(out_data, parents, backward)
+    out = Tensor._make(out_data, parents, backward)
+    if buffer is not None and not out.requires_grad:
+        # No backward will run; hand the buffer back immediately.
+        workspace.release()
+    return out
 
 
 # --------------------------------------------------------------------- #
@@ -145,41 +247,70 @@ def conv2d(
 # --------------------------------------------------------------------- #
 
 
-def max_pool2d(images: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+def max_pool2d(
+    images: Tensor,
+    kernel: int,
+    stride: Optional[int] = None,
+    workspace: Optional[Im2colWorkspace] = None,
+) -> Tensor:
     """Max pooling over non-overlapping (or strided) windows, NCHW."""
     stride = stride if stride is not None else kernel
     n, c, h, w = images.shape
     h_out = _out_size(h, kernel, stride, 0)
     w_out = _out_size(w, kernel, stride, 0)
 
+    buffer = (
+        workspace.acquire((n * c, h_out, w_out, 1, kernel, kernel), images.data.dtype)
+        if workspace is not None
+        else None
+    )
     cols, _ = im2col(
-        images.data.reshape(n * c, 1, h, w), kernel, stride, pad=0
+        images.data.reshape(n * c, 1, h, w), kernel, stride, pad=0, out=buffer
     )  # (N*C*H_out*W_out, K*K)
+    rows = np.arange(cols.shape[0])
     arg = cols.argmax(axis=1)
-    out_flat = cols[np.arange(cols.shape[0]), arg]
+    out_flat = cols[rows, arg]
     out_data = out_flat.reshape(n, c, h_out, w_out)
+    cols_shape = cols.shape
+    cols_dtype = cols.dtype
+    if buffer is not None:
+        # Backward only needs the argmax indices, not the column values,
+        # so the scratch buffer is free again right away.
+        workspace.release()
 
     def backward(grad: np.ndarray) -> None:
         if not images.requires_grad:
             return
-        gcols = np.zeros_like(cols)
-        gcols[np.arange(cols.shape[0]), arg] = grad.reshape(-1)
+        gcols = np.zeros(cols_shape, dtype=cols_dtype)
+        gcols[rows, arg] = grad.reshape(-1)
         gimg = col2im(gcols, (n * c, 1, h, w), kernel, stride, pad=0)
         images._accumulate(gimg.reshape(n, c, h, w))
 
     return Tensor._make(out_data, (images,), backward)
 
 
-def avg_pool2d(images: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+def avg_pool2d(
+    images: Tensor,
+    kernel: int,
+    stride: Optional[int] = None,
+    workspace: Optional[Im2colWorkspace] = None,
+) -> Tensor:
     """Average pooling over windows, NCHW."""
     stride = stride if stride is not None else kernel
     n, c, h, w = images.shape
     h_out = _out_size(h, kernel, stride, 0)
     w_out = _out_size(w, kernel, stride, 0)
 
-    cols, _ = im2col(images.data.reshape(n * c, 1, h, w), kernel, stride, pad=0)
+    buffer = (
+        workspace.acquire((n * c, h_out, w_out, 1, kernel, kernel), images.data.dtype)
+        if workspace is not None
+        else None
+    )
+    cols, _ = im2col(images.data.reshape(n * c, 1, h, w), kernel, stride, pad=0, out=buffer)
     out_data = cols.mean(axis=1).reshape(n, c, h_out, w_out)
     window = kernel * kernel
+    if buffer is not None:
+        workspace.release()
 
     def backward(grad: np.ndarray) -> None:
         if not images.requires_grad:
@@ -218,13 +349,13 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     return log_softmax(logits, axis=axis).exp()
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Integer labels → one-hot float matrix."""
+def one_hot(labels: np.ndarray, num_classes: int, dtype=None) -> np.ndarray:
+    """Integer labels → one-hot float matrix (module compute dtype)."""
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError("one_hot expects a 1-D label vector")
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError("labels out of range for one_hot")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype or get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

@@ -13,14 +13,20 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import functional as F
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype, is_grad_enabled
 
 
 class Parameter(Tensor):
-    """A trainable :class:`Tensor` (always requires grad)."""
+    """A trainable :class:`Tensor` (always requires grad).
+
+    Parameters adopt the module compute dtype (float32 by default; see
+    :func:`repro.nn.set_default_dtype`).
+    """
 
     def __init__(self, data, name: str = "") -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        super().__init__(
+            np.asarray(data, dtype=get_default_dtype()), requires_grad=True, name=name
+        )
 
 
 class Module:
@@ -70,12 +76,16 @@ class Module:
     # -- mode ------------------------------------------------------------ #
     def train(self) -> "Module":
         self.training = True
+        # Parameters may now change (optimizer steps mutate ``.data`` in
+        # place), so any cached conv+BN fold is about to go stale.
+        self.__dict__.pop("_folded_eval", None)
         for child in self.children():
             child.train()
         return self
 
     def eval(self) -> "Module":
         self.training = False
+        self.__dict__.pop("_folded_eval", None)
         for child in self.children():
             child.eval()
         return self
@@ -83,6 +93,21 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter, gradient and buffer to ``dtype`` in place.
+
+        Used by the perf benchmark to time the same trained weights under
+        both compute policies.
+        """
+        resolved = np.dtype(dtype)
+        for _, param in self.named_parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(resolved, copy=False)
+        for module, attr in self._named_buffer_refs().values():
+            setattr(module, attr, np.asarray(getattr(module, attr), dtype=resolved))
+        return self
 
     # -- state ------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -109,7 +134,9 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for buffer '{key}': {current.shape} vs {value.shape}"
                     )
-                setattr(module, attr, np.array(value, copy=True))
+                # Cast to the live buffer's dtype so checkpoints written
+                # under one compute policy load cleanly under another.
+                setattr(module, attr, np.array(value, dtype=current.dtype, copy=True))
             else:
                 raise KeyError(f"unexpected key in state dict: '{key}'")
 
@@ -205,9 +232,17 @@ class Conv2d(Module):
             kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
         )
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._col_workspace = F.Im2colWorkspace()
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            workspace=self._col_workspace,
+        )
 
 
 class BatchNorm2d(Module):
@@ -227,8 +262,8 @@ class BatchNorm2d(Module):
         self.eps = eps
         self.weight = Parameter(np.ones(num_features))
         self.bias = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = np.zeros(num_features, dtype=get_default_dtype())
+        self.running_var = np.ones(num_features, dtype=get_default_dtype())
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
@@ -244,12 +279,181 @@ class BatchNorm2d(Module):
             )
             normalised = (x - mean) / (var + self.eps) ** 0.5
         else:
-            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
-            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            # Match the input precision so stored float64 statistics do not
+            # silently promote a float32 forward pass (and vice versa).
+            mean = Tensor(
+                self.running_mean.reshape(1, -1, 1, 1).astype(x.dtype, copy=False)
+            )
+            var = Tensor(
+                self.running_var.reshape(1, -1, 1, 1).astype(x.dtype, copy=False)
+            )
             normalised = (x - mean) / (var + self.eps) ** 0.5
         scale = self.weight.reshape(1, self.num_features, 1, 1)
         shift = self.bias.reshape(1, self.num_features, 1, 1)
         return normalised * scale + shift
+
+
+# --------------------------------------------------------------------- #
+# Eval-time conv + BN folding
+# --------------------------------------------------------------------- #
+#
+# In eval mode batch norm is a fixed per-channel affine map, so it can be
+# folded into the preceding convolution's weights: W' = W · γ/√(v+ε),
+# b' = β + (b − m) · γ/√(v+ε).  Every attack iteration runs the model in
+# eval mode, so folding removes four full-feature-map elementwise ops
+# (and their backward closures) per conv/BN pair per iteration.  The fold
+# is computed with Tensor ops on the layers' parameters, so it is exact
+# and gradients still flow to conv and BN parameters; train() falls back
+# to the unfolded pair automatically because folding is eval-only.
+
+_PARAMETER_FREEZING = True
+
+
+def set_parameter_freezing(enabled: bool) -> bool:
+    """Globally enable/disable :class:`frozen_parameters`; returns previous.
+
+    With freezing off the context manager becomes a no-op and attack
+    backward passes compute (and accumulate) parameter gradients exactly
+    as the seed engine did — kept reachable for benchmarking.
+    """
+    global _PARAMETER_FREEZING
+    previous = _PARAMETER_FREEZING
+    _PARAMETER_FREEZING = bool(enabled)
+    return previous
+
+
+class parameter_freezing:
+    """Context manager pinning the parameter-freezing flag."""
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+
+    def __enter__(self) -> "parameter_freezing":
+        self._previous = set_parameter_freezing(self._enabled)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_parameter_freezing(self._previous)
+
+
+class frozen_parameters:
+    """Context manager disabling gradient tracking for a module's parameters.
+
+    Input-gradient attacks only need ∂loss/∂x.  Freezing the parameters
+    while the attack graph is built prunes every weight-gradient GEMM
+    from the backward pass (roughly a third of its cost on the conv
+    stack) and leaves ``param.grad`` untouched — so an attack sandwiched
+    between training steps (adversarial training) cannot pollute the
+    optimizer's gradient buffers.
+    """
+
+    def __init__(self, module: "Module") -> None:
+        self._module = module
+
+    def __enter__(self) -> "frozen_parameters":
+        if not _PARAMETER_FREEZING:
+            self._frozen = []
+            return self
+        self._frozen = [p for p in self._module.parameters() if p.requires_grad]
+        for parameter in self._frozen:
+            parameter.requires_grad = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for parameter in self._frozen:
+            parameter.requires_grad = True
+
+
+_CONV_BN_FOLDING = True
+
+
+def set_conv_bn_folding(enabled: bool) -> bool:
+    """Globally enable/disable eval-time conv+BN folding; returns previous."""
+    global _CONV_BN_FOLDING
+    previous = _CONV_BN_FOLDING
+    _CONV_BN_FOLDING = bool(enabled)
+    return previous
+
+
+def conv_bn_folding_enabled() -> bool:
+    return _CONV_BN_FOLDING
+
+
+class conv_bn_folding:
+    """Context manager pinning the folding flag (used by benchmarks/tests)."""
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+
+    def __enter__(self) -> "conv_bn_folding":
+        self._previous = set_conv_bn_folding(self._enabled)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_conv_bn_folding(self._previous)
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> Tuple[Tensor, Tensor]:
+    """Return the BN-folded ``(weight, bias)`` of a conv→BN pair.
+
+    Both outputs are differentiable functions of the pair's parameters
+    (running statistics are constants, as in eval-mode BN).
+    """
+    weight_dtype = conv.weight.dtype
+    inv_std = 1.0 / np.sqrt(np.asarray(bn.running_var, dtype=np.float64) + bn.eps)
+    scale = bn.weight * Tensor(inv_std.astype(weight_dtype, copy=False))
+    weight = conv.weight * scale.reshape(-1, 1, 1, 1)
+    shift = bn.bias - scale * Tensor(
+        np.asarray(bn.running_mean, dtype=weight_dtype)
+    )
+    if conv.bias is not None:
+        shift = shift + conv.bias * scale
+    return weight, shift
+
+
+def conv_bn_forward(x: Tensor, conv: Conv2d, bn: BatchNorm2d) -> Tensor:
+    """``bn(conv(x))`` with eval-time folding when enabled.
+
+    Training mode (or a disabled fold flag) uses the unfolded pair, so
+    running statistics keep updating exactly as before.  When no gradient
+    can flow to the pair's parameters (inference under ``no_grad``, or an
+    input-gradient attack with frozen weights) the folded weight/bias are
+    cached on the conv and reused until any parameter array is rebound or
+    the module changes mode — repeated eval forwards skip the re-fold.
+    """
+    if bn.training or not _CONV_BN_FOLDING:
+        return bn(conv(x))
+    needs_parameter_graph = is_grad_enabled() and (
+        conv.weight.requires_grad
+        or bn.weight.requires_grad
+        or bn.bias.requires_grad
+        or (conv.bias is not None and conv.bias.requires_grad)
+    )
+    if needs_parameter_graph:
+        weight, bias = fold_conv_bn(conv, bn)
+    else:
+        key = (
+            id(conv.weight.data),
+            None if conv.bias is None else id(conv.bias.data),
+            id(bn.weight.data),
+            id(bn.bias.data),
+            id(bn.running_mean),
+            id(bn.running_var),
+        )
+        cached = conv.__dict__.get("_folded_eval")
+        if cached is None or cached[0] != key:
+            folded_weight, folded_bias = fold_conv_bn(conv, bn)
+            cached = (key, Tensor(folded_weight.data), Tensor(folded_bias.data))
+            conv._folded_eval = cached
+        weight, bias = cached[1], cached[2]
+    return F.conv2d(
+        x,
+        weight,
+        bias,
+        stride=conv.stride,
+        padding=conv.padding,
+        workspace=conv._col_workspace,
+    )
 
 
 class ReLU(Module):
@@ -267,9 +471,10 @@ class MaxPool2d(Module):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride
+        self._col_workspace = F.Im2colWorkspace()
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.max_pool2d(x, self.kernel_size, self.stride)
+        return F.max_pool2d(x, self.kernel_size, self.stride, workspace=self._col_workspace)
 
 
 class AvgPool2d(Module):
@@ -277,9 +482,10 @@ class AvgPool2d(Module):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride
+        self._col_workspace = F.Im2colWorkspace()
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.avg_pool2d(x, self.kernel_size, self.stride)
+        return F.avg_pool2d(x, self.kernel_size, self.stride, workspace=self._col_workspace)
 
 
 class GlobalAvgPool2d(Module):

@@ -46,7 +46,7 @@ def cross_entropy(
         raise ValueError("temperature must be positive")
 
     num_classes = logits.shape[1]
-    targets = F.one_hot(labels, num_classes)
+    targets = F.one_hot(labels, num_classes, dtype=logits.dtype)
     if label_smoothing > 0.0:
         targets = targets * (1.0 - label_smoothing) + label_smoothing / num_classes
 
@@ -65,7 +65,7 @@ def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray, temperature: fl
         raise ValueError("logits and target_probs must have identical shapes")
     scaled = logits * (1.0 / temperature) if temperature != 1.0 else logits
     log_probs = F.log_softmax(scaled, axis=1)
-    return -(log_probs * Tensor(np.asarray(target_probs, dtype=np.float64))).sum() * (
+    return -(log_probs * Tensor(np.asarray(target_probs, dtype=logits.dtype))).sum() * (
         1.0 / logits.shape[0]
     )
 
@@ -79,7 +79,7 @@ def nll_from_log_probs(log_probs: Tensor, labels: np.ndarray) -> Tensor:
 
 def mse(prediction: Tensor, target: np.ndarray) -> Tensor:
     """Mean squared error against a constant target."""
-    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.dtype))
     return (diff * diff).mean()
 
 

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .classifier import ImageClassifier
-from .layers import BatchNorm2d, Conv2d, Linear, Module
+from .layers import BatchNorm2d, Conv2d, Linear, Module, conv_bn_forward
 from .tensor import Tensor
 
 
@@ -51,10 +51,10 @@ class ResidualBlock(Module):
             self.shortcut_bn = None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = self.bn1(self.conv1(x)).relu()
-        out = self.bn2(self.conv2(out))
+        out = conv_bn_forward(x, self.conv1, self.bn1).relu()
+        out = conv_bn_forward(out, self.conv2, self.bn2)
         if self.shortcut_conv is not None:
-            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+            shortcut = conv_bn_forward(x, self.shortcut_conv, self.shortcut_bn)
         else:
             shortcut = x
         return (out + shortcut).relu()
@@ -111,7 +111,7 @@ class TinyResNet(ImageClassifier):
 
     # ------------------------------------------------------------------ #
     def _trunk(self, x: Tensor) -> Tensor:
-        out = self.stem_bn(self.stem_conv(x)).relu()
+        out = conv_bn_forward(x, self.stem_conv, self.stem_bn).relu()
         for block in self.blocks:
             out = block(out)
         return out

@@ -16,7 +16,7 @@ import numpy as np
 
 from . import functional as F
 from .classifier import ImageClassifier
-from .layers import BatchNorm2d, Conv2d, Linear
+from .layers import BatchNorm2d, Conv2d, Linear, conv_bn_forward
 from .tensor import Tensor
 
 
@@ -77,7 +77,7 @@ class SimpleCNN(ImageClassifier):
         layer = 0
         for stage in range(self.num_stages):
             for _ in range(self.convs_per_stage):
-                out = self.norms[layer](self.convs[layer](out)).relu()
+                out = conv_bn_forward(out, self.convs[layer], self.norms[layer]).relu()
                 layer += 1
             if stage < self.num_stages - 1:
                 out = F.max_pool2d(out, 2)

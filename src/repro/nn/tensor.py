@@ -32,6 +32,60 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+# ------------------------------------------------------------------ #
+# Compute-dtype policy
+# ------------------------------------------------------------------ #
+#
+# The engine computes in float32 by default: attack gradients only feed
+# a sign() or a feature-space distance, so float64 buys nothing while
+# halving memory bandwidth and SIMD throughput of every BLAS call.
+# Explicit ``np.float64`` *arrays* are honoured as-is, which is how the
+# finite-difference gradient checks keep running in full precision.
+
+_DEFAULT_DTYPE = np.dtype(np.float32)
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the module-wide compute dtype; returns the previous policy.
+
+    Accepts ``np.float32`` or ``np.float64`` (or their string names).
+    The policy governs tensors built from Python scalars, lists and
+    non-float arrays, plus every numpy entry point of the engine
+    (``Parameter`` init, ``predict_proba``, ``loss_gradient``, …).
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(f"compute dtype must be float32 or float64, got {resolved}")
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the module-wide compute dtype (float32 unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+class compute_dtype:
+    """Context manager pinning the compute dtype for a code region.
+
+    ``with compute_dtype(np.float64): ...`` runs the enclosed forward /
+    backward passes in full precision, restoring the previous policy on
+    exit — used by the perf benchmark to time both policies in one run.
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = dtype
+
+    def __enter__(self) -> "compute_dtype":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_default_dtype(self._previous)
+
 
 class no_grad:
     """Context manager disabling graph construction (like ``torch.no_grad``).
@@ -89,9 +143,18 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64 if isinstance(data, float) else None)
-        if self.data.dtype not in (np.float32, np.float64):
-            self.data = self.data.astype(np.float64)
+        if isinstance(data, (np.ndarray, np.generic)) and data.dtype in (
+            np.float32,
+            np.float64,
+        ):
+            # Explicit float arrays — and numpy scalars produced by
+            # reductions like ``arr.sum()`` — keep their precision
+            # (gradchecks rely on float64 surviving end to end).
+            self.data = np.asarray(data)
+        else:
+            # Python scalars, lists and integer arrays are dtype-weak:
+            # they adopt the module compute policy.
+            self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad or any(p.requires_grad for p in _parents) else ()
@@ -166,7 +229,9 @@ class Tensor:
         if self.grad is None:
             self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            # In-place accumulate: keeps the buffer (and its dtype) stable
+            # instead of reallocating per contribution.
+            self.grad += grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -211,9 +276,19 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _coerce(other: ArrayLike) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, (np.ndarray, np.generic)) and other.dtype in (
+            np.float32,
+            np.float64,
+        ):
+            return Tensor(other)
+        # Python scalars, lists and integer arrays are dtype-weak: they
+        # adopt the dtype of the tensor operand (NEP 50 semantics), so a
+        # float64 graph is never truncated to the float32 policy and a
+        # float32 graph is never promoted.
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -510,18 +585,19 @@ class Tensor:
     # Constructors
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+    def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+    def ones(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None,
-              scale: float = 1.0, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
+              scale: float = 1.0, requires_grad: bool = False, dtype=None) -> "Tensor":
         rng = rng if rng is not None else np.random.default_rng()
-        return Tensor(rng.standard_normal(shape).astype(dtype) * scale, requires_grad=requires_grad)
+        samples = rng.standard_normal(shape).astype(dtype or _DEFAULT_DTYPE) * scale
+        return Tensor(samples, requires_grad=requires_grad)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

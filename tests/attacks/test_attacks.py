@@ -40,7 +40,8 @@ class TestFGSM:
     def test_perturbation_respects_epsilon(self, setup):
         _, model, images = setup
         result = FGSM(model, epsilon=0.02).attack(images, target_class=1)
-        assert result.linf_distances(images).max() <= 0.02 + 1e-12
+        # 1e-6 slack: float32 compute rounds the clean image by up to ~6e-8/pixel.
+        assert result.linf_distances(images).max() <= 0.02 + 1e-6
 
     def test_outputs_valid_pixels(self, setup):
         _, model, images = setup
@@ -51,7 +52,7 @@ class TestFGSM:
     def test_zero_epsilon_is_identity(self, setup):
         _, model, images = setup
         result = FGSM(model, epsilon=0.0).attack(images, target_class=1)
-        np.testing.assert_allclose(result.adversarial_images, images)
+        np.testing.assert_allclose(result.adversarial_images, images, atol=1e-6)
 
     def test_targeted_moves_toward_target(self, setup):
         """Target-class probability must increase on average."""
@@ -110,7 +111,7 @@ class TestPGD:
     def test_respects_epsilon_ball(self, setup):
         _, model, images = setup
         result = PGD(model, epsilon=0.03, num_steps=5, seed=0).attack(images, target_class=1)
-        assert result.linf_distances(images).max() <= 0.03 + 1e-12
+        assert result.linf_distances(images).max() <= 0.03 + 1e-6
 
     def test_stronger_than_fgsm_targeted(self, setup):
         """The paper's core finding about the two attacks (Table III)."""
@@ -138,7 +139,7 @@ class TestPGD:
     def test_zero_epsilon_identity(self, setup):
         _, model, images = setup
         result = PGD(model, 0.0, num_steps=3, seed=0).attack(images, target_class=1)
-        np.testing.assert_allclose(result.adversarial_images, images)
+        np.testing.assert_allclose(result.adversarial_images, images, atol=1e-6)
 
     def test_default_step_size(self, setup):
         _, model, _ = setup
@@ -152,6 +153,44 @@ class TestPGD:
             PGD(model, 0.05, num_steps=0)
         with pytest.raises(ValueError):
             PGD(model, 0.05, step_size=-1.0)
+
+
+class TestPrecomputedPredictions:
+    """attack(original_predictions=...) skips one forward, same result."""
+
+    def test_attack_result_identical(self, setup):
+        _, model, images = setup
+        clean = model.predict(images)
+        baseline = FGSM(model, 0.03).attack(images, target_class=1)
+        precomputed = FGSM(model, 0.03).attack(
+            images, target_class=1, original_predictions=clean
+        )
+        np.testing.assert_array_equal(
+            baseline.adversarial_images, precomputed.adversarial_images
+        )
+        np.testing.assert_array_equal(
+            baseline.original_predictions, precomputed.original_predictions
+        )
+        np.testing.assert_array_equal(
+            baseline.adversarial_predictions, precomputed.adversarial_predictions
+        )
+        assert baseline.epsilon == precomputed.epsilon
+        assert baseline.target_class == precomputed.target_class
+
+    def test_untargeted_uses_supplied_predictions_as_labels(self, setup):
+        _, model, images = setup
+        supplied = np.zeros(images.shape[0], dtype=np.int64)
+        result = FGSM(model, 0.02).attack(images, original_predictions=supplied)
+        np.testing.assert_array_equal(result.original_predictions, supplied)
+
+    def test_shape_validation(self, setup):
+        _, model, images = setup
+        with pytest.raises(ValueError):
+            FGSM(model, 0.02).attack(
+                images,
+                target_class=1,
+                original_predictions=np.zeros(images.shape[0] + 1, dtype=np.int64),
+            )
 
 
 class TestAttackResult:

@@ -41,7 +41,8 @@ class TestItemToItem:
         attack = ItemToItemAttack(model, epsilon=0.02, num_steps=5, seed=0)
         sources = ds.images[socks[:3]]
         result = attack.attack_toward_item(sources, ds.images[0])
-        assert result.linf_distances(sources).max() <= 0.02 + 1e-12
+        # 1e-6 slack: float32 compute rounds the clean image by up to ~6e-8/pixel.
+        assert result.linf_distances(sources).max() <= 0.02 + 1e-6
 
     def test_accepts_chw_target(self, setup):
         ds, model = setup

@@ -6,6 +6,7 @@ import pytest
 from repro.attacks import DeepFool, JSMA
 from repro.data import amazon_men_like
 from repro.features import ClassifierConfig, train_catalog_classifier
+from repro.nn import get_default_dtype
 
 
 @pytest.fixture(scope="module")
@@ -21,7 +22,9 @@ def setup():
     )
     assert report.final_train_accuracy > 0.9
     socks = ds.items_in_category("sock")
-    return ds, model, ds.images[socks][:5]
+    # Pre-cast to the compute dtype so exact pixel comparisons (the l0
+    # budget checks) see only pixels the attack actually touched.
+    return ds, model, ds.images[socks][:5].astype(get_default_dtype())
 
 
 class TestJSMA:
@@ -73,7 +76,7 @@ class TestJSMA:
         ds, model, images = setup
         shoes = ds.items_in_category("running_shoe")
         target = ds.registry.by_name("running_shoe").category_id
-        shoe_images = ds.images[shoes][:3]
+        shoe_images = ds.images[shoes][:3].astype(get_default_dtype())
         result = JSMA(model, theta=1.0, gamma=0.3).attack(shoe_images, target_class=target)
         already = model.predict(shoe_images) == target
         np.testing.assert_allclose(

@@ -28,7 +28,8 @@ class TestMIM:
     def test_respects_epsilon(self, setup):
         _, model, images = setup
         result = MIM(model, epsilon=0.04, num_steps=5).attack(images, target_class=1)
-        assert result.linf_distances(images).max() <= 0.04 + 1e-12
+        # 1e-6 slack: float32 compute rounds the clean image by up to ~6e-8/pixel.
+        assert result.linf_distances(images).max() <= 0.04 + 1e-6
 
     def test_valid_pixels(self, setup):
         _, model, images = setup
@@ -39,7 +40,7 @@ class TestMIM:
     def test_zero_epsilon_identity(self, setup):
         _, model, images = setup
         result = MIM(model, epsilon=0.0, num_steps=3).attack(images, target_class=1)
-        np.testing.assert_allclose(result.adversarial_images, images)
+        np.testing.assert_allclose(result.adversarial_images, images, atol=1e-6)
 
     def test_moves_toward_target(self, setup):
         ds, model, images = setup

@@ -39,7 +39,7 @@ class TestNES:
         _, model, images = setup
         attack = NESAttack(model, 0.03, num_steps=3, samples_per_step=8, seed=0)
         result = attack.attack(images, target_class=1)
-        assert result.linf_distances(images).max() <= 0.03 + 1e-12
+        assert result.linf_distances(images).max() <= 0.03 + 1e-6
 
     def test_valid_pixels(self, setup):
         _, model, images = setup

@@ -112,7 +112,8 @@ class TestAttackOutcome:
         assert images.min() >= 0.0
         assert images.max() <= 1.0
         clean = pipeline.dataset.images[outcome.attacked_item_ids]
-        assert np.abs(images - clean).max() <= 24 / 255 + 1e-12
+        # 1e-6 slack: float32 compute rounds the clean image by up to ~6e-8/pixel.
+        assert np.abs(images - clean).max() <= 24 / 255 + 1e-6
 
     def test_epsilon_recorded_in_255_units(self, outcome):
         assert outcome.epsilon_255 == pytest.approx(24.0)

@@ -87,7 +87,7 @@ class TestDistillation:
     def test_soft_labels_are_distributions(self, setup):
         ds, model = setup
         probs = soft_labels(model, ds.images[:10], temperature=10.0)
-        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-6)
 
     def test_higher_temperature_softer(self, setup):
         ds, model = setup

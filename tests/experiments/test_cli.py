@@ -119,3 +119,26 @@ class TestTablesCommand:
         assert "Table II" in out
         assert "Table III" in out
         assert "Table IV" in out
+
+
+class TestBenchCommand:
+    def test_bench_no_grid_writes_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--no-grid", "--repeats", "1", "--scale", "0.002",
+                "--image-size", "16", "--quiet", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+        payload = json.loads(out_path.read_text())
+        assert set(payload["modes"]) == {"float64_baseline", "float32_optimized"}
+        assert payload["modes"]["float32_optimized"]["dtype"] == "float32"
+        assert payload["modes"]["float64_baseline"]["conv_bn_folding"] is False
+        for stage in ("forward", "backward", "fgsm", "pgd"):
+            assert stage in payload["speedup"]
+        assert "attack_grid" not in payload["speedup"]

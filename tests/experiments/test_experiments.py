@@ -126,6 +126,27 @@ class TestRunner:
         grid = run_attack_grid(context, "VBPR", scenarios=[scenario])
         assert all(o.scenario == scenario for o in grid.outcomes)
 
+    def test_grid_cache_lru_bound(self):
+        from repro.experiments import runner
+
+        saved = dict(runner._GRID_CACHE)
+        runner.clear_grid_cache()
+        try:
+            for idx in range(runner._GRID_CACHE_MAX_ENTRIES + 2):
+                runner._cache_store((f"config{idx}", "VBPR"), object())
+            assert len(runner._GRID_CACHE) == runner._GRID_CACHE_MAX_ENTRIES
+            # Oldest entries were evicted first.
+            assert ("config0", "VBPR") not in runner._GRID_CACHE
+            assert ("config1", "VBPR") not in runner._GRID_CACHE
+            # Re-storing an entry refreshes its recency.
+            oldest = next(iter(runner._GRID_CACHE))
+            runner._cache_store(oldest, object())
+            runner._cache_store(("one-more", "VBPR"), object())
+            assert oldest in runner._GRID_CACHE
+        finally:
+            runner.clear_grid_cache()
+            runner._GRID_CACHE.update(saved)
+
 
 class TestFormatters:
     def test_table1(self, context):

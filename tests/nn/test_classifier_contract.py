@@ -43,8 +43,9 @@ class TestClassifierContract:
         np.testing.assert_allclose(logits.data, model.fc(feats).data, atol=1e-12)
 
     def test_predict_proba_distribution(self, model):
+        # Tolerance covers the float32 compute policy (eps ≈ 1.2e-7).
         probs = model.predict_proba(RNG.random((4, 3, 16, 16)))
-        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-6)
         assert np.all(probs >= 0)
 
     def test_predict_matches_argmax(self, model):
@@ -59,7 +60,7 @@ class TestClassifierContract:
         np.testing.assert_allclose(
             model.extract_features(images, batch_size=5),
             model.extract_features(images, batch_size=2),
-            atol=1e-10,
+            atol=1e-5,
         )
 
     def test_empty_batch(self, model):

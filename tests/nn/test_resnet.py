@@ -76,7 +76,7 @@ class TestTinyResNet:
     def test_predict_proba_rows_sum_to_one(self):
         net = tiny_net()
         probs = net.predict_proba(RNG.random((5, 3, 16, 16)))
-        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-6)
 
     def test_predict_returns_class_indices(self):
         net = tiny_net()
@@ -94,7 +94,7 @@ class TestTinyResNet:
         images = RNG.random((7, 3, 16, 16))
         full = net.extract_features(images, batch_size=7)
         chunked = net.extract_features(images, batch_size=2)
-        np.testing.assert_allclose(full, chunked, atol=1e-10)
+        np.testing.assert_allclose(full, chunked, atol=1e-5)
 
     def test_empty_batch(self):
         net = tiny_net()

@@ -90,7 +90,7 @@ class TestSimpleCNN:
         net = tiny_cnn()
         images = RNG.random((5, 3, 16, 16))
         probs = net.predict_proba(images)
-        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-6)
         preds = net.predict(images)
         np.testing.assert_array_equal(preds, probs.argmax(axis=1))
         feats = net.extract_features(images, batch_size=2)
