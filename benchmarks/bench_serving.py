@@ -1,0 +1,57 @@
+"""Serving-layer load benchmark — cold vs cached vs post-invalidation.
+
+Runs the Zipf load generator against a :class:`RecommenderService`
+built from a trained VBPR pipeline, in three phases: cold cache, the
+same request stream replayed warm, and a replay after a PGD-perturbed
+source category has been pushed through the attack surface (feature
+re-extraction + incremental rescore + fine-grained invalidation).
+
+Writes ``BENCH_serving.json`` at the repository root with throughput
+and p50/p95/p99 latency per phase, cache counters and the rolling
+CHR drift of the attacked category.  Marked ``serving_perf`` and
+excluded from the default pytest run; the default tier instead
+exercises the same harness in ``--smoke`` mode (see
+``tests/serving/test_loadgen.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.serving import format_serving_report, run_serving_bench
+
+pytestmark = pytest.mark.serving_perf
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serving.json",
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "600"))
+
+
+def test_serving_load_profile():
+    payload = run_serving_bench(
+        scale=BENCH_SCALE,
+        requests=BENCH_REQUESTS,
+        out_path=OUT_PATH,
+        verbose=True,
+    )
+    print("\n" + format_serving_report(payload))
+
+    phases = payload["phases"]
+    assert set(phases) == {"cold", "warm_cache", "post_invalidation"}
+    for phase in phases.values():
+        assert phase["throughput_rps"] > 0
+        assert phase["p50_ms"] <= phase["p95_ms"] <= phase["p99_ms"]
+
+    # The tentpole claim: cached serving is meaningfully faster than
+    # scoring from scratch (a hit is a dict lookup vs a GEMM + argpartition).
+    assert payload["speedup"]["warm_vs_cold_p50"] > 1.5
+    # The attack invalidates some but not all cached lists — fine-grained
+    # invalidation would be pointless if every entry dropped.
+    inv = payload["invalidation"]
+    assert inv["scores_changed"]
+    assert 0 < inv["invalidated_users"] <= inv["cached_users"]
+    assert os.path.exists(OUT_PATH)

@@ -14,7 +14,9 @@ The package rebuilds the paper's entire stack from scratch on numpy:
 * :mod:`repro.core` — the TAaMR pipeline, CHR@N metric and scenarios;
 * :mod:`repro.metrics` — PSNR, SSIM, PSM;
 * :mod:`repro.defenses` — adversarial training and distillation;
-* :mod:`repro.experiments` — configs and runners behind the benchmarks.
+* :mod:`repro.experiments` — configs and runners behind the benchmarks;
+* :mod:`repro.serving` — the online serving layer: incremental scorer,
+  invalidating top-N cache, service facade and load generator.
 
 Quickstart::
 
@@ -27,9 +29,10 @@ Quickstart::
               outcome.epsilon_255, outcome.chr_source_after)
 """
 
-from . import attacks, core, data, defenses, experiments, features, metrics, nn, recommenders
+from . import attacks, core, data, defenses, experiments, features, metrics, nn, recommenders, serving
 from .core import AttackScenario, TAaMRPipeline
 from .experiments import ExperimentConfig, build_context, men_config, women_config
+from .serving import RecommenderService
 
 __version__ = "1.0.0"
 
@@ -43,6 +46,8 @@ __all__ = [
     "metrics",
     "defenses",
     "experiments",
+    "serving",
+    "RecommenderService",
     "TAaMRPipeline",
     "AttackScenario",
     "ExperimentConfig",

@@ -8,12 +8,15 @@ Four subcommands cover the daily workflows::
                             --attack pgd --eps 8 --model vbpr --save-images out.png
     python -m repro tables  --dataset men --scale 0.006
     python -m repro bench   --scale 0.003 --out BENCH_perf_engine.json
+    python -m repro serve-bench --requests 600 --out BENCH_serving.json
 
 ``stats`` prints Table I-style dataset statistics; ``train`` builds (and
 optionally caches) the full experiment context; ``attack`` runs a single
 TAaMR attack and reports CHR / success / visual metrics; ``tables``
 regenerates the paper's Tables II-IV on one dataset; ``bench`` times the
-engine's float64-baseline vs float32-optimized configurations.
+engine's float64-baseline vs float32-optimized configurations;
+``serve-bench`` load-tests the online serving layer (cold vs cached vs
+post-attack-invalidation phases).
 """
 
 from __future__ import annotations
@@ -163,6 +166,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serving import format_serving_report, run_serving_bench
+
+    payload = run_serving_bench(
+        scale=args.scale,
+        requests=args.requests,
+        top_n=args.top_n,
+        zipf_exponent=args.zipf,
+        epsilon_255=args.eps,
+        seed=args.seed,
+        smoke=args.smoke,
+        out_path=args.out,
+        verbose=not args.quiet,
+    )
+    print(format_serving_report(payload))
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     context = _build(args)
     grids = [run_attack_grid(context, name) for name in ("VBPR", "AMR")]
@@ -228,6 +249,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quiet", action="store_true", help="suppress progress logs")
     bench.set_defaults(handler=cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="load-test the serving layer (cold / warm / post-invalidation)",
+    )
+    serve.add_argument("--scale", type=float, default=0.004, help="dataset scale factor")
+    serve.add_argument("--requests", type=int, default=600, help="requests per phase")
+    serve.add_argument("--top-n", type=int, default=20, help="serving cutoff N")
+    serve.add_argument("--zipf", type=float, default=1.1, help="traffic skew exponent")
+    serve.add_argument("--eps", type=float, default=8.0, help="attack ε on the 0-255 scale")
+    serve.add_argument("--seed", type=int, default=0, help="experiment seed")
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fast mode (used by the default test tier)",
+    )
+    serve.add_argument(
+        "--out", default="BENCH_serving.json",
+        help="write the JSON report to this path",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress progress logs")
+    serve.set_defaults(handler=cmd_serve_bench)
     return parser
 
 

@@ -75,8 +75,19 @@ def chr_by_category(
     top_n_lists = np.asarray(top_n_lists)
     if top_n_lists.ndim != 2:
         raise ValueError("top_n_lists must be (num_users, N)")
-    if top_n_lists.size and top_n_lists.max() >= item_classes.shape[0]:
-        raise ValueError("top-N lists reference unknown items")
+    if top_n_lists.size:
+        # Negative ids would reach np.bincount (via the item_classes fancy
+        # index wrapping around) and silently miscount; reject them with a
+        # clear message alongside the upper-bound check.
+        if top_n_lists.min() < 0:
+            raise ValueError(
+                f"top-N lists contain negative item ids (min {top_n_lists.min()})"
+            )
+        if top_n_lists.max() >= item_classes.shape[0]:
+            raise ValueError(
+                f"top-N lists reference unknown items (max id {top_n_lists.max()} "
+                f">= num_items {item_classes.shape[0]})"
+            )
     users, cutoff = top_n_lists.shape
     recommended_classes = item_classes[top_n_lists.reshape(-1)]
     counts = np.bincount(recommended_classes, minlength=num_classes)

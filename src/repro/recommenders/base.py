@@ -87,30 +87,88 @@ class Recommender(ABC):
         if not self._fitted:
             raise RuntimeError(f"{type(self).__name__} used before fit()")
 
+    def _validate_user_ids(self, user_ids) -> np.ndarray:
+        """Coerce ``user_ids`` to a 1-D int64 array inside the universe."""
+        user_ids = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        if user_ids.ndim != 1:
+            raise ValueError("user_ids must be a scalar or 1-D sequence")
+        if user_ids.size == 0:
+            raise ValueError("user_ids must not be empty")
+        if user_ids.min() < 0 or user_ids.max() >= self.num_users:
+            raise ValueError(
+                f"user_ids must lie in [0, {self.num_users}); "
+                f"got range [{user_ids.min()}, {user_ids.max()}]"
+            )
+        return user_ids
+
+    def score_users(self, user_ids) -> np.ndarray:
+        """Scores of shape ``(len(user_ids), num_items)`` for a user block.
+
+        The base implementation slices :meth:`score_all`; models whose
+        predictor factorises over users (all of BPR-MF / VBPR / MostPop)
+        override it with a direct small-GEMM path so serving a handful
+        of users never materialises the full user×item matrix.
+        """
+        self._require_fitted()
+        user_ids = self._validate_user_ids(user_ids)
+        return self.score_all()[user_ids]
+
+    @staticmethod
+    def _head_of(score_matrix: np.ndarray, n: int) -> np.ndarray:
+        """Top-``n`` column indices per row, best first (argpartition head)."""
+        # argpartition + sort of the head: O(I + n log n) per user.
+        head = np.argpartition(-score_matrix, n - 1, axis=1)[:, :n]
+        head_scores = np.take_along_axis(score_matrix, head, axis=1)
+        order = np.argsort(-head_scores, axis=1, kind="stable")
+        return np.take_along_axis(head, order, axis=1)
+
     def top_n(
         self,
         n: int,
         feedback: Optional[ImplicitFeedback] = None,
         scores: Optional[np.ndarray] = None,
+        user_ids: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Top-``n`` recommended items per user, best first.
 
         Training positives are excluded when ``feedback`` is provided —
         the paper evaluates recommendation lists of *unknown* items
         (``i ∈ I ∖ I_u^+`` in Definition 5).
+
+        ``user_ids`` restricts the computation to a block of users: the
+        returned array has one row per requested user (in request
+        order), and only those users' scores are ever materialised
+        (via :meth:`score_users`).  ``scores``, when given alongside
+        ``user_ids``, may be either the full matrix (rows are sliced)
+        or already block-shaped ``(len(user_ids), num_items)``.
         """
         self._require_fitted()
         if n <= 0:
             raise ValueError("n must be positive")
-        score_matrix = np.array(self.score_all() if scores is None else scores, copy=True)
-        if score_matrix.shape != (self.num_users, self.num_items):
-            raise ValueError("scores have wrong shape")
+        if user_ids is None:
+            score_matrix = np.array(self.score_all() if scores is None else scores, copy=True)
+            if score_matrix.shape != (self.num_users, self.num_items):
+                raise ValueError("scores have wrong shape")
+            if feedback is not None:
+                for user, items in enumerate(feedback.train_items):
+                    score_matrix[user, items] = -np.inf
+            return self._head_of(score_matrix, min(n, self.num_items))
+
+        user_ids = self._validate_user_ids(user_ids)
+        if scores is None:
+            score_matrix = np.array(self.score_users(user_ids), copy=True)
+        else:
+            scores = np.asarray(scores)
+            if scores.shape == (self.num_users, self.num_items):
+                score_matrix = np.array(scores[user_ids], copy=True)
+            elif scores.shape == (user_ids.shape[0], self.num_items):
+                score_matrix = np.array(scores, copy=True)
+            else:
+                raise ValueError(
+                    "scores must be the full matrix or block-shaped "
+                    "(len(user_ids), num_items)"
+                )
         if feedback is not None:
-            for user, items in enumerate(feedback.train_items):
-                score_matrix[user, items] = -np.inf
-        n = min(n, self.num_items)
-        # argpartition + sort of the head: O(I + n log n) per user.
-        head = np.argpartition(-score_matrix, n - 1, axis=1)[:, :n]
-        head_scores = np.take_along_axis(score_matrix, head, axis=1)
-        order = np.argsort(-head_scores, axis=1, kind="stable")
-        return np.take_along_axis(head, order, axis=1)
+            for row, user in enumerate(user_ids):
+                score_matrix[row, feedback.train_items[user]] = -np.inf
+        return self._head_of(score_matrix, min(n, self.num_items))

@@ -108,3 +108,9 @@ class BPRMF(Recommender):
     def score_all(self) -> np.ndarray:
         self._require_fitted()
         return self.item_bias[None, :] + self.user_factors @ self.item_factors.T
+
+    def score_users(self, user_ids) -> np.ndarray:
+        """Block scoring without the full user×item matrix (serving path)."""
+        self._require_fitted()
+        user_ids = self._validate_user_ids(user_ids)
+        return self.item_bias[None, :] + self.user_factors[user_ids] @ self.item_factors.T

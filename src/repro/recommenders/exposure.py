@@ -25,8 +25,18 @@ def item_exposure(top_n_lists: np.ndarray, num_items: int) -> np.ndarray:
     top_n_lists = np.asarray(top_n_lists)
     if top_n_lists.ndim != 2:
         raise ValueError("top_n_lists must be (num_users, N)")
-    if top_n_lists.size and top_n_lists.max() >= num_items:
-        raise ValueError("top_n_lists reference items outside the catalog")
+    if top_n_lists.size:
+        # Check both bounds up front: np.bincount rejects negatives with
+        # an opaque "'list' argument must have no negative elements".
+        if top_n_lists.min() < 0:
+            raise ValueError(
+                f"top_n_lists contain negative item ids (min {top_n_lists.min()})"
+            )
+        if top_n_lists.max() >= num_items:
+            raise ValueError(
+                f"top_n_lists reference items outside the catalog "
+                f"(max id {top_n_lists.max()} >= num_items {num_items})"
+            )
     return np.bincount(top_n_lists.reshape(-1), minlength=num_items).astype(np.float64)
 
 

@@ -36,3 +36,11 @@ class MostPop(Recommender):
         return np.broadcast_to(
             self.item_counts[None, :], (self.num_users, self.num_items)
         ).copy()
+
+    def score_users(self, user_ids) -> np.ndarray:
+        """Block scoring: popularity is user-independent, so just tile."""
+        self._require_fitted()
+        user_ids = self._validate_user_ids(user_ids)
+        return np.broadcast_to(
+            self.item_counts[None, :], (user_ids.shape[0], self.num_items)
+        ).copy()

@@ -226,6 +226,27 @@ class VBPR(Recommender):
             + (feats @ self.visual_bias)[None, :]
         )
 
+    def score_users(self, user_ids, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Block scoring without the full user×item matrix (serving path).
+
+        ``features`` replaces the clean item features, as in
+        :meth:`score_all`; the visual projection ``feats @ E`` still
+        spans the whole catalog, so callers serving many small blocks
+        should precompute it once (see ``repro.serving.IncrementalScorer``).
+        """
+        self._require_fitted()
+        user_ids = self._validate_user_ids(user_ids)
+        feats = self.features if features is None else np.asarray(features, dtype=np.float64)
+        if feats.shape != (self.num_items, self.feature_dim):
+            raise ValueError("features must have shape (num_items, D)")
+        visual_items = feats @ self.embedding
+        return (
+            self.item_bias[None, :]
+            + self.user_factors[user_ids] @ self.item_factors.T
+            + self.visual_user_factors[user_ids] @ visual_items.T
+            + (feats @ self.visual_bias)[None, :]
+        )
+
     def score_items(self, item_features: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
         """Scores of selected items for all users, given replacement features.
 

@@ -1,0 +1,36 @@
+"""``repro.serving`` — the online recommendation serving layer.
+
+Treats a trained TAaMR system as a running service instead of a score
+matrix: :class:`IncrementalScorer` answers user-block requests from
+precomputed item-side factors and re-derives only attacked columns,
+:class:`TopNCache` keeps served lists hot with threshold-based
+invalidation, :class:`RecommenderService` wires both to a
+:class:`~repro.core.pipeline.TAaMRPipeline` (live feature pushes +
+rolling CHR monitoring), and :mod:`~repro.serving.loadgen` measures the
+request path under deterministic Zipf traffic.
+"""
+
+from .index import CacheStats, TopNCache
+from .loadgen import (
+    PhaseStats,
+    ZipfLoadGenerator,
+    format_serving_report,
+    measure_phase,
+    run_serving_bench,
+)
+from .scorer import IncrementalScorer
+from .service import RecommenderService, RollingChrMonitor, UpdateReport
+
+__all__ = [
+    "IncrementalScorer",
+    "TopNCache",
+    "CacheStats",
+    "RecommenderService",
+    "RollingChrMonitor",
+    "UpdateReport",
+    "ZipfLoadGenerator",
+    "PhaseStats",
+    "measure_phase",
+    "run_serving_bench",
+    "format_serving_report",
+]

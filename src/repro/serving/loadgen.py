@@ -1,0 +1,301 @@
+"""Deterministic Zipf load generator and the serving benchmark.
+
+Real recommendation traffic is heavily skewed — a small fraction of
+users generates most requests — which is exactly the regime where a
+per-user top-N cache pays off.  :class:`ZipfLoadGenerator` draws user
+ids from a seeded Zipf distribution over a random user permutation, so
+request streams are reproducible bit-for-bit across runs.
+
+:func:`run_serving_bench` measures the three serving regimes the
+tentpole cares about on one trained system:
+
+* **cold** — empty cache, each distinct user of the stream served once
+  in first-appearance order, so every request pays the full scoring
+  path;
+* **warm_cache** — the full Zipf stream against the populated cache,
+  hits dominate;
+* **post_invalidation** — a TAaMR perturbation of the source category's
+  images is pushed through :meth:`RecommenderService.push_attacked_images`
+  (feature re-extraction + incremental rescore + fine-grained cache
+  invalidation), then the stream replays again: only users whose lists
+  the attack could change pay the recompute.
+
+Each phase reports throughput and p50/p95/p99 latency; the payload also
+carries cache counters and the rolling CHR of the attacked source
+category before/after the push — the live view of the paper's Table II
+shift.  ``python -m repro serve-bench`` and
+``benchmarks/bench_serving.py`` both write it as ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..attacks import FGSM, PGD, epsilon_from_255
+from ..core.pipeline import TAaMRPipeline
+from ..core.scenarios import make_scenario
+from ..experiments.config import men_config
+from ..experiments.context import build_context
+from .service import RecommenderService
+
+
+class ZipfLoadGenerator:
+    """Seeded Zipf-distributed user-id stream.
+
+    User popularity ranks are assigned by a seeded permutation (so user
+    0 is not always the hottest), and rank ``r`` gets weight
+    ``r^-exponent``.  ``exponent = 0`` degenerates to uniform traffic.
+    """
+
+    def __init__(self, num_users: int, exponent: float = 1.1, seed: int = 0) -> None:
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.num_users = num_users
+        self.exponent = exponent
+        self._rng = np.random.default_rng(seed)
+        ranks = np.empty(num_users, dtype=np.float64)
+        ranks[self._rng.permutation(num_users)] = np.arange(1, num_users + 1)
+        weights = ranks**-exponent
+        self.probabilities = weights / weights.sum()
+
+    def sample(self, count: int) -> np.ndarray:
+        """Next ``count`` user ids of the stream (advances the state)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return self._rng.choice(self.num_users, size=count, p=self.probabilities)
+
+
+@dataclass
+class PhaseStats:
+    """Latency/throughput profile of one request phase."""
+
+    name: str
+    requests: int
+    wall_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+def measure_phase(service: RecommenderService, name: str, users: np.ndarray) -> PhaseStats:
+    """Serve ``users`` one request at a time, timing each."""
+    latencies = np.empty(users.shape[0], dtype=np.float64)
+    start = time.perf_counter()
+    for idx, user in enumerate(users):
+        t0 = time.perf_counter()
+        service.recommend(int(user))
+        latencies[idx] = time.perf_counter() - t0
+    wall = time.perf_counter() - start
+    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+    return PhaseStats(
+        name=name,
+        requests=int(users.shape[0]),
+        wall_s=wall,
+        throughput_rps=users.shape[0] / wall if wall > 0 else float("inf"),
+        p50_ms=1e3 * float(p50),
+        p95_ms=1e3 * float(p95),
+        p99_ms=1e3 * float(p99),
+    )
+
+
+def run_serving_bench(
+    scale: float = 0.004,
+    image_size: int = 24,
+    requests: int = 600,
+    top_n: int = 20,
+    zipf_exponent: float = 1.1,
+    epsilon_255: float = 8.0,
+    source: str = "sock",
+    target: str = "running_shoe",
+    seed: int = 0,
+    smoke: bool = False,
+    out_path: Optional[str] = None,
+    verbose: bool = False,
+) -> Dict:
+    """Benchmark cold / warm / post-invalidation serving on VBPR.
+
+    ``smoke=True`` shrinks everything (tiny catalog, short training,
+    few requests, one-step FGSM) so the benchmark machinery can run
+    inside the default test tier in a few seconds.
+    """
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+
+    def log(message: str) -> None:
+        if verbose:
+            print(f"[serve-bench] {message}", flush=True)
+
+    if smoke:
+        scale, image_size = min(scale, 0.002), min(image_size, 16)
+        requests = min(requests, 48)
+        config = men_config(
+            scale=scale,
+            image_size=image_size,
+            seed=seed,
+            classifier_epochs=3,
+            recommender_epochs=4,
+            amr_pretrain_epochs=2,
+        )
+    else:
+        config = men_config(
+            scale=scale,
+            image_size=image_size,
+            seed=seed,
+            classifier_epochs=8,
+            recommender_epochs=20,
+            amr_pretrain_epochs=10,
+        )
+    context = build_context(config, verbose=verbose)
+    pipeline = TAaMRPipeline(
+        context.dataset, context.extractor, context.vbpr, cutoff=top_n
+    )
+    service = RecommenderService.from_pipeline(
+        pipeline, n=top_n, monitor_window=max(64, requests)
+    )
+    log(
+        f"service ready: {context.dataset.num_users} users x "
+        f"{context.dataset.num_items} items, cutoff {service.n}"
+    )
+
+    generator = ZipfLoadGenerator(
+        context.dataset.num_users, exponent=zipf_exponent, seed=seed
+    )
+    stream = generator.sample(requests)
+    # First-touch order: each distinct user of the stream once, against
+    # the empty cache, so the cold profile is purely the miss path (a
+    # Zipf replay would mostly hit entries it created moments earlier).
+    _, first_seen = np.unique(stream, return_index=True)
+    cold_users = stream[np.sort(first_seen)]
+
+    cold = measure_phase(service, "cold", cold_users)
+    log(f"cold: {cold.throughput_rps:.0f} req/s, p50 {cold.p50_ms:.3f} ms")
+    warm = measure_phase(service, "warm_cache", stream)
+    log(f"warm: {warm.throughput_rps:.0f} req/s, p50 {warm.p50_ms:.3f} ms")
+    chr_before = service.monitor.chr_percent(source)
+
+    # The attack: perturb the source category's images toward the target
+    # class and push them through the deployed-system surface.
+    scenario = make_scenario(context.dataset.registry, source, target)
+    source_items = pipeline.category_items(scenario.source)
+    if source_items.size == 0:
+        raise ValueError(f"classifier assigns no items to '{source}'")
+    max_items = 8 if smoke else 32
+    attacked_items = source_items[:max_items]
+    target_class = context.dataset.registry.by_name(scenario.target).category_id
+    epsilon = epsilon_from_255(epsilon_255)
+    attack = (
+        FGSM(context.classifier, epsilon)
+        if smoke
+        else PGD(context.classifier, epsilon, num_steps=10, seed=seed)
+    )
+    result = attack.attack(
+        context.dataset.images[attacked_items],
+        target_class=target_class,
+        original_predictions=pipeline.item_classes[attacked_items],
+    )
+    update = service.push_attacked_images(attacked_items, result.adversarial_images)
+    log(
+        f"pushed {attacked_items.size} attacked images: "
+        f"{update.num_invalidated}/{update.cached_users} cached lists invalidated"
+    )
+
+    post = measure_phase(service, "post_invalidation", stream)
+    log(f"post: {post.throughput_rps:.0f} req/s, p50 {post.p50_ms:.3f} ms")
+    chr_after = service.monitor.chr_percent(source)
+
+    payload = {
+        "benchmark": "serving",
+        "config": {
+            "scale": scale,
+            "image_size": image_size,
+            "requests": requests,
+            "top_n": service.n,
+            "zipf_exponent": zipf_exponent,
+            "epsilon_255": epsilon_255,
+            "scenario": scenario.label(),
+            "attacked_items": int(attacked_items.size),
+            "smoke": smoke,
+            "seed": seed,
+            "num_users": context.dataset.num_users,
+            "num_items": context.dataset.num_items,
+        },
+        "phases": {
+            phase.name: phase.as_dict() for phase in (cold, warm, post)
+        },
+        "cache": service.stats,
+        "invalidation": {
+            "cached_users": update.cached_users,
+            "invalidated_users": update.num_invalidated,
+            "scores_changed": update.scores_changed,
+        },
+        "chr_monitor": {
+            "category": source,
+            "rolling_percent_before_attack": chr_before,
+            "rolling_percent_after_attack": chr_after,
+        },
+        "speedup": {
+            "warm_vs_cold_p50": cold.p50_ms / warm.p50_ms if warm.p50_ms > 0 else float("inf"),
+            "warm_vs_cold_throughput": warm.throughput_rps / cold.throughput_rps,
+        },
+    }
+
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        log(f"report written to {out_path}")
+    return payload
+
+
+def format_serving_report(payload: Dict) -> str:
+    """Human-readable summary of a :func:`run_serving_bench` payload."""
+    lines = [
+        "Serving benchmark "
+        f"({payload['config']['num_users']} users x "
+        f"{payload['config']['num_items']} items, "
+        f"top-{payload['config']['top_n']}, "
+        f"{payload['config']['requests']}-request Zipf stream)"
+    ]
+    lines.append(
+        f"{'phase':20s} {'reqs':>6s} {'req/s':>10s} "
+        f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s}"
+    )
+    for name, phase in payload["phases"].items():
+        lines.append(
+            f"{name:20s} {phase['requests']:6d} {phase['throughput_rps']:10.0f} "
+            f"{phase['p50_ms']:9.3f} {phase['p95_ms']:9.3f} {phase['p99_ms']:9.3f}"
+        )
+    cache = payload["cache"]
+    lines.append(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"(rate {cache['hit_rate']:.2f}), {cache['invalidations']} invalidations"
+    )
+    inv = payload["invalidation"]
+    lines.append(
+        f"attack push: {inv['invalidated_users']}/{inv['cached_users']} "
+        f"cached lists invalidated"
+    )
+    chr_info = payload["chr_monitor"]
+    lines.append(
+        f"rolling CHR[{chr_info['category']}]: "
+        f"{chr_info['rolling_percent_before_attack']:.3f}% -> "
+        f"{chr_info['rolling_percent_after_attack']:.3f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Incremental batched scorer — the serving-time view of a recommender.
+
+Offline evaluation calls ``score_all()`` and materialises the full
+user×item matrix; a running service cannot.  :class:`IncrementalScorer`
+precomputes the *item-side* factor matrices of a fitted BPR-family
+model once:
+
+* BPR-MF — ``item_bias`` and ``Q`` (scores are ``b_i + p_u·q_i``);
+* VBPR / AMR — additionally the visual projection ``V = F E`` of shape
+  ``(|I|, A)`` and the visual-bias column ``F β``, so a request never
+  touches the ``D``-dimensional raw features;
+* MostPop — the popularity vector (user-independent).
+
+and then answers per-user (or user-block) requests with small GEMMs:
+``(B, K) @ (K, |I|)`` instead of ``(|U|, K) @ (K, |I|)``.
+
+The serving-critical operation is :meth:`update_item_features`: when an
+attacker (or a legitimate catalog refresh) swaps item images, only the
+affected *rows* of ``V`` and ``F β`` are re-derived — an
+``(M, D) @ (D, A)`` GEMM for ``M`` updated items — instead of
+rebuilding the catalog projection.  For models without a visual
+pathway (BPR-MF, MostPop) the update is accepted and recorded as a
+no-op: their scores cannot be moved by image perturbations, which is
+exactly the attack-immune-control contrast of the paper (§III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..recommenders.base import Recommender
+from ..recommenders.bprmf import BPRMF
+from ..recommenders.mostpop import MostPop
+from ..recommenders.vbpr import VBPR
+
+
+class IncrementalScorer:
+    """Item-side-precomputed scorer over a fitted, frozen recommender.
+
+    Parameters
+    ----------
+    recommender:
+        A fitted :class:`BPRMF`, :class:`VBPR`/``AMR`` or
+        :class:`MostPop`.  The scorer snapshots the item features at
+        construction; the model's trained parameters are referenced
+        directly and assumed frozen for the lifetime of the scorer
+        (the serving contract — retraining requires a new scorer).
+    features:
+        Optional replacement item features ``(num_items, D)`` for
+        visual models; defaults to the features the model trained on.
+    """
+
+    def __init__(self, recommender: Recommender, features: Optional[np.ndarray] = None) -> None:
+        if not isinstance(recommender, (VBPR, BPRMF, MostPop)):
+            raise TypeError(
+                "IncrementalScorer supports BPRMF, VBPR/AMR and MostPop; "
+                f"got {type(recommender).__name__}"
+            )
+        if not recommender.is_fitted:
+            raise RuntimeError("recommender must be fitted before serving")
+        self.recommender = recommender
+        self.num_users = recommender.num_users
+        self.num_items = recommender.num_items
+        self.is_visual = isinstance(recommender, VBPR)
+        self.feature_updates = 0  # update_item_features calls (incl. no-ops)
+
+        if self.is_visual:
+            feats = recommender.features if features is None else features
+            feats = np.array(feats, dtype=np.float64, copy=True)
+            if feats.shape != (self.num_items, recommender.feature_dim):
+                raise ValueError("features must have shape (num_items, D)")
+            self._features = feats
+            self._visual_items = feats @ recommender.embedding  # (|I|, A)
+            self._visual_bias_scores = feats @ recommender.visual_bias  # (|I|,)
+        elif features is not None:
+            raise ValueError(
+                f"{type(recommender).__name__} has no visual pathway; "
+                "features must be None"
+            )
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def features(self) -> np.ndarray:
+        """Current item features (visual models only; read-only view)."""
+        if not self.is_visual:
+            raise AttributeError(
+                f"{type(self.recommender).__name__} scorer keeps no item features"
+            )
+        view = self._features.view()
+        view.flags.writeable = False
+        return view
+
+    def _validate_item_ids(self, item_ids) -> np.ndarray:
+        item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
+        if item_ids.ndim != 1:
+            raise ValueError("item_ids must be a scalar or 1-D sequence")
+        if item_ids.size == 0:
+            raise ValueError("item_ids must not be empty")
+        if item_ids.min() < 0 or item_ids.max() >= self.num_items:
+            raise ValueError(
+                f"item_ids must lie in [0, {self.num_items}); "
+                f"got range [{item_ids.min()}, {item_ids.max()}]"
+            )
+        return item_ids
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score_block(self, user_ids) -> np.ndarray:
+        """Scores ``(len(user_ids), num_items)`` for a block of users."""
+        model = self.recommender
+        user_ids = model._validate_user_ids(user_ids)
+        if isinstance(model, MostPop):
+            return np.broadcast_to(
+                model.item_counts[None, :], (user_ids.shape[0], self.num_items)
+            ).copy()
+        scores = (
+            model.item_bias[None, :]
+            + model.user_factors[user_ids] @ model.item_factors.T
+        )
+        if self.is_visual:
+            scores += model.visual_user_factors[user_ids] @ self._visual_items.T
+            scores += self._visual_bias_scores[None, :]
+        return scores
+
+    def score_items(self, user_ids, item_ids) -> np.ndarray:
+        """Scores ``(len(user_ids), len(item_ids))`` of selected columns.
+
+        The invalidation path of the top-N cache: after a feature push,
+        only the updated columns need re-scoring for the cached users.
+        """
+        model = self.recommender
+        user_ids = model._validate_user_ids(user_ids)
+        item_ids = self._validate_item_ids(item_ids)
+        if isinstance(model, MostPop):
+            return np.broadcast_to(
+                model.item_counts[item_ids][None, :],
+                (user_ids.shape[0], item_ids.shape[0]),
+            ).copy()
+        scores = (
+            model.item_bias[item_ids][None, :]
+            + model.user_factors[user_ids] @ model.item_factors[item_ids].T
+        )
+        if self.is_visual:
+            scores += model.visual_user_factors[user_ids] @ self._visual_items[item_ids].T
+            scores += self._visual_bias_scores[item_ids][None, :]
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def update_item_features(self, item_ids, item_features) -> bool:
+        """Swap the features of ``item_ids``; returns True if scores moved.
+
+        Only the updated rows of the visual projection are re-derived.
+        Non-visual models accept the call as a recorded no-op and return
+        False (image perturbations cannot move their scores).  With
+        duplicate ids the last write wins, matching numpy assignment.
+        """
+        item_ids = self._validate_item_ids(item_ids)
+        self.feature_updates += 1
+        if not self.is_visual:
+            return False
+        model = self.recommender
+        item_features = np.asarray(item_features, dtype=np.float64)
+        if item_features.shape != (item_ids.shape[0], model.feature_dim):
+            raise ValueError("item_features must have shape (len(item_ids), D)")
+        if not np.isfinite(item_features).all():
+            raise ValueError("item_features contain non-finite values")
+        self._features[item_ids] = item_features
+        self._visual_items[item_ids] = item_features @ model.embedding
+        self._visual_bias_scores[item_ids] = item_features @ model.visual_bias
+        return True

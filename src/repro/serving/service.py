@@ -1,0 +1,277 @@
+"""``RecommenderService`` — the online face of a TAaMR experiment.
+
+Wires the incremental scorer and the invalidating top-N cache behind a
+request API, and watches category exposure drift *live*:
+
+* :meth:`recommend` serves one user's top-``n`` (cache hit = a dict
+  lookup; miss = one small GEMM + argpartition head);
+* :meth:`push_attacked_images` models the attack as deployed systems
+  experience it — new images arrive, the extractor re-derives layer-e
+  features, the scorer patches the affected columns and the cache drops
+  exactly the lists the change can alter;
+* :class:`RollingChrMonitor` tracks CHR@N over the last ``window``
+  *served* lists, so the category-exposure shift of Tables II–III shows
+  up as a moving signal during the attack instead of a before/after
+  batch number.
+
+Build it from a :class:`~repro.core.pipeline.TAaMRPipeline` with
+:meth:`RecommenderService.from_pipeline` (shares the pipeline's
+classifier-assigned item classes and clean features), or directly from
+a fitted recommender for non-visual controls like BPR-MF.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.interactions import ImplicitFeedback
+from ..features.extractor import FeatureExtractor
+from ..recommenders.base import Recommender
+from .index import TopNCache
+from .scorer import IncrementalScorer
+
+
+class RollingChrMonitor:
+    """CHR@N over a rolling window of served recommendation lists.
+
+    Definition 5 over what the service *actually serves*: the fraction
+    of the last ``window`` lists' slots occupied by each class.  Lists
+    may have different lengths (callers request different ``n``); the
+    denominator is the total slot count in the window.
+    """
+
+    def __init__(
+        self,
+        item_classes: np.ndarray,
+        class_names: Sequence[str],
+        window: int = 256,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        item_classes = np.asarray(item_classes, dtype=np.int64)
+        if item_classes.ndim != 1:
+            raise ValueError("item_classes must be 1-D")
+        if item_classes.size and item_classes.max() >= len(class_names):
+            raise ValueError("item_classes reference unknown classes")
+        self.item_classes = item_classes
+        self.class_names = list(class_names)
+        self.window = window
+        self._lists: Deque[np.ndarray] = deque()  # per-list class counts
+        self._counts = np.zeros(len(class_names), dtype=np.int64)
+        self._slots = 0
+        self.observed = 0  # lists ever observed (not capped by window)
+
+    def observe(self, items: np.ndarray) -> None:
+        """Record one served list (item ids)."""
+        items = np.asarray(items, dtype=np.int64)
+        counts = np.bincount(self.item_classes[items], minlength=len(self.class_names))
+        self._lists.append(counts)
+        self._counts += counts
+        self._slots += items.size
+        self.observed += 1
+        while len(self._lists) > self.window:
+            evicted = self._lists.popleft()
+            self._counts -= evicted
+            self._slots -= int(evicted.sum())
+
+    def chr_percent(self, class_name: str) -> float:
+        """Rolling CHR of one class, in percent (Table II units)."""
+        idx = self.class_names.index(class_name)
+        return 100.0 * self._counts[idx] / self._slots if self._slots else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Rolling CHR percent per class name."""
+        if self._slots == 0:
+            return {name: 0.0 for name in self.class_names}
+        return {
+            name: 100.0 * float(self._counts[idx]) / self._slots
+            for idx, name in enumerate(self.class_names)
+        }
+
+
+@dataclass
+class UpdateReport:
+    """What one feature push did to the serving state."""
+
+    item_ids: np.ndarray
+    scores_changed: bool  # False for non-visual models (attack-immune)
+    cached_users: int  # cache size when the update arrived
+    invalidated_users: List[int] = field(default_factory=list)
+
+    @property
+    def num_invalidated(self) -> int:
+        return len(self.invalidated_users)
+
+
+class RecommenderService:
+    """Online serving facade: incremental scorer + invalidating cache.
+
+    Parameters
+    ----------
+    recommender:
+        Fitted BPR-family model.
+    feedback:
+        Optional train interactions; when given, served lists exclude
+        train positives (the paper's unknown-item lists) and the cache
+        uses the positive sets for invalidation precision.
+    features:
+        Item features to serve with (visual models); defaults to the
+        model's training features.
+    item_classes / class_names:
+        Classifier-assigned item classes and their names; enable the
+        rolling CHR monitor.
+    extractor:
+        Fitted :class:`FeatureExtractor`; required only by
+        :meth:`push_attacked_images`.
+    n:
+        Serving cutoff — the list length cached per user; ``recommend``
+        may ask for any ``n`` up to it.
+    monitor_window:
+        Rolling window (in served lists) of the CHR monitor.
+    """
+
+    def __init__(
+        self,
+        recommender: Recommender,
+        feedback: Optional[ImplicitFeedback] = None,
+        features: Optional[np.ndarray] = None,
+        item_classes: Optional[np.ndarray] = None,
+        class_names: Optional[Sequence[str]] = None,
+        extractor: Optional[FeatureExtractor] = None,
+        n: int = 10,
+        monitor_window: int = 256,
+    ) -> None:
+        if feedback is not None and (
+            feedback.num_users != recommender.num_users
+            or feedback.num_items != recommender.num_items
+        ):
+            raise ValueError("feedback universe does not match the recommender")
+        self.recommender = recommender
+        self.feedback = feedback
+        self.extractor = extractor
+        self.scorer = IncrementalScorer(recommender, features=features)
+        seen = feedback.positive_sets() if feedback is not None else None
+        self.index = TopNCache(n, recommender.num_items, seen_items=seen)
+        self.n = self.index.n
+
+        self.monitor: Optional[RollingChrMonitor] = None
+        if item_classes is not None:
+            if class_names is None:
+                raise ValueError("class_names required alongside item_classes")
+            self.monitor = RollingChrMonitor(
+                item_classes, class_names, window=monitor_window
+            )
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        pipeline,
+        n: int = 10,
+        monitor_window: int = 256,
+    ) -> "RecommenderService":
+        """Serve the trained system inside a :class:`TAaMRPipeline`.
+
+        Reuses the pipeline's clean standardised features and its
+        classifier-assigned item classes (Definition 5), so the rolling
+        CHR monitor reports in the same units as ``clean_chr_report``.
+        """
+        return cls(
+            pipeline.recommender,
+            feedback=pipeline.dataset.feedback,
+            features=pipeline.clean_features,
+            item_classes=pipeline.item_classes,
+            class_names=pipeline.dataset.registry.names,
+            extractor=pipeline.extractor,
+            n=n,
+            monitor_window=monitor_window,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def _compute_entry(self, user: int) -> tuple:
+        """Fresh top-N head for one user: small GEMM + argpartition."""
+        scores = self.scorer.score_block([user])[0]
+        if self.feedback is not None:
+            scores[self.feedback.train_items[user]] = -np.inf
+        k = self.index.n
+        head = np.argpartition(-scores, k - 1)[:k]
+        order = np.argsort(-scores[head], kind="stable")
+        items = head[order]
+        return items, scores[items]
+
+    def recommend(self, user: int, n: Optional[int] = None) -> np.ndarray:
+        """Top-``n`` items for ``user``, best first (cached).
+
+        ``n`` defaults to the serving cutoff and must not exceed it —
+        the cached head only extends that far.  The top-``n`` prefix of
+        a cached top-N list *is* the exact top-``n`` list.
+        """
+        n = self.n if n is None else n
+        if n <= 0 or n > self.n:
+            raise ValueError(f"n must be in [1, {self.n}] (the serving cutoff)")
+        user = int(user)
+        if not 0 <= user < self.recommender.num_users:
+            raise ValueError(f"user must lie in [0, {self.recommender.num_users})")
+        items = self.index.get(user)
+        if items is None:
+            items, scores = self._compute_entry(user)
+            self.index.put(user, items, scores)
+        served = items[:n]
+        if self.monitor is not None:
+            self.monitor.observe(served)
+        return served
+
+    def recommend_batch(self, user_ids, n: Optional[int] = None) -> np.ndarray:
+        """Serve a block of users; rows follow request order."""
+        user_ids = self.recommender._validate_user_ids(user_ids)
+        n = self.n if n is None else n
+        return np.stack([self.recommend(int(user), n) for user in user_ids])
+
+    # ------------------------------------------------------------------ #
+    # Update path
+    # ------------------------------------------------------------------ #
+    def push_item_features(self, item_ids, item_features) -> UpdateReport:
+        """Swap item features and surgically invalidate affected lists."""
+        item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
+        cached = self.index.cached_users()
+        changed = self.scorer.update_item_features(item_ids, item_features)
+        report = UpdateReport(
+            item_ids=item_ids, scores_changed=changed, cached_users=len(cached)
+        )
+        if changed and cached:
+            new_columns = self.scorer.score_items(cached, item_ids)
+            report.invalidated_users = self.index.apply_update(
+                cached, item_ids, new_columns
+            )
+        return report
+
+    def push_attacked_images(self, item_ids, images: np.ndarray) -> UpdateReport:
+        """The deployed-system attack surface: new images for ``item_ids``.
+
+        Features are re-extracted through the same fitted extractor the
+        recommender trained against (raw layer-e pass + the catalog's
+        standardisation), then pushed incrementally.
+        """
+        if self.extractor is None:
+            raise RuntimeError(
+                "push_attacked_images requires an extractor; build the service "
+                "with one (or via from_pipeline)"
+            )
+        raw = self.extractor.model.extract_features(
+            np.asarray(images), batch_size=self.extractor.batch_size
+        )
+        features = self.extractor.transform_raw_features(raw)
+        return self.push_item_features(item_ids, features)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Cache counters plus scorer update count."""
+        payload = self.index.stats.as_dict()
+        payload["feature_updates"] = self.scorer.feature_updates
+        return payload

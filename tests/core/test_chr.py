@@ -63,8 +63,13 @@ class TestChrByCategory:
             assert values[cls] == pytest.approx(expected)
 
     def test_unknown_item_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown items"):
             chr_by_category(np.array([[9]]), np.array([0, 1]), num_classes=2)
+
+    def test_negative_ids_rejected_with_clear_message(self):
+        # A negative id would silently wrap around in the fancy index.
+        with pytest.raises(ValueError, match="negative item ids"):
+            chr_by_category(np.array([[-1]]), np.array([0, 1]), num_classes=2)
 
     def test_requires_1d_classes(self):
         with pytest.raises(ValueError):

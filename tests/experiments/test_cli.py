@@ -142,3 +142,27 @@ class TestBenchCommand:
         for stage in ("forward", "backward", "fgsm", "pgd"):
             assert stage in payload["speedup"]
         assert "attack_grid" not in payload["speedup"]
+
+
+class TestServeBenchCommand:
+    def test_smoke_writes_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "serving.json"
+        code = main(["serve-bench", "--smoke", "--quiet", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving benchmark" in out
+        assert "warm_cache" in out
+
+        payload = json.loads(out_path.read_text())
+        assert set(payload["phases"]) == {"cold", "warm_cache", "post_invalidation"}
+        for phase in payload["phases"].values():
+            for key in ("throughput_rps", "p50_ms", "p95_ms", "p99_ms"):
+                assert phase[key] > 0
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.out == "BENCH_serving.json"
+        assert args.requests == 600
+        assert not args.smoke

@@ -139,3 +139,68 @@ class TestRecommenderAPI:
         ).fit(feedback)
         with pytest.raises(ValueError):
             model.top_n(5, scores=np.zeros((2, 2)))
+
+
+class TestBlockScoring:
+    """score_users + top_n(user_ids=...) — the serving-layer satellite."""
+
+    @pytest.fixture(scope="class")
+    def model(self, feedback):
+        return BPRMF(
+            feedback.num_users, feedback.num_items, BPRMFConfig(epochs=5, seed=0)
+        ).fit(feedback)
+
+    def test_score_users_matches_score_all_rows(self, model):
+        users = [0, 7, 21]
+        np.testing.assert_allclose(
+            model.score_users(users), model.score_all()[users], rtol=1e-10
+        )
+
+    def test_score_users_accepts_scalar(self, model):
+        block = model.score_users(3)
+        assert block.shape == (1, model.num_items)
+
+    def test_score_users_validates_range(self, model):
+        with pytest.raises(ValueError):
+            model.score_users([model.num_users])
+        with pytest.raises(ValueError):
+            model.score_users([-1])
+        with pytest.raises(ValueError):
+            model.score_users([])
+
+    def test_top_n_block_matches_full(self, model, feedback):
+        users = np.array([2, 5, 2, 30])  # duplicates and arbitrary order
+        scores = model.score_all()
+        full = model.top_n(8, feedback=feedback, scores=scores)
+        block = model.top_n(8, feedback=feedback, scores=scores, user_ids=users)
+        np.testing.assert_array_equal(block, full[users])
+
+    def test_top_n_block_without_scores(self, model, feedback):
+        users = [1, 4]
+        full = model.top_n(6, feedback=feedback)
+        block = model.top_n(6, feedback=feedback, user_ids=users)
+        np.testing.assert_array_equal(block, full[users])
+
+    def test_top_n_block_accepts_block_shaped_scores(self, model, feedback):
+        users = np.array([3, 9])
+        block_scores = model.score_users(users)
+        block = model.top_n(5, feedback=feedback, scores=block_scores, user_ids=users)
+        full = model.top_n(5, feedback=feedback)
+        np.testing.assert_array_equal(block, full[users])
+
+    def test_top_n_block_excludes_train_positives(self, model, feedback):
+        users = [0, 11, 25]
+        lists = model.top_n(10, feedback=feedback, user_ids=users)
+        for row, user in enumerate(users):
+            overlap = set(lists[row].tolist()) & set(
+                feedback.train_items[user].tolist()
+            )
+            assert not overlap
+
+    def test_top_n_block_wrong_score_shape(self, model):
+        with pytest.raises(ValueError):
+            model.top_n(5, scores=np.zeros((3, 3)), user_ids=[0, 1])
+
+    def test_top_n_block_invalid_users(self, model):
+        with pytest.raises(ValueError):
+            model.top_n(5, user_ids=[model.num_users])

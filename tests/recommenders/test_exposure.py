@@ -12,8 +12,13 @@ class TestItemExposure:
         np.testing.assert_array_equal(item_exposure(lists, 4), [1, 2, 1, 0])
 
     def test_out_of_range_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="outside the catalog"):
             item_exposure(np.array([[5]]), 3)
+
+    def test_negative_ids_rejected_with_clear_message(self):
+        # np.bincount would otherwise fail with an opaque error.
+        with pytest.raises(ValueError, match="negative item ids"):
+            item_exposure(np.array([[0, -3]]), 3)
 
     def test_requires_2d(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,123 @@
+"""Unit tests for the invalidating top-N cache."""
+
+import numpy as np
+import pytest
+
+from repro.serving import TopNCache
+
+
+def make_cache(n=3, num_items=10, seen=None):
+    return TopNCache(n, num_items, seen_items=seen)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.get(0) is None
+        cache.put(0, np.array([4, 2, 9]), np.array([3.0, 2.0, 1.0]))
+        np.testing.assert_array_equal(cache.get(0), [4, 2, 9])
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert 0 in cache and len(cache) == 1
+
+    def test_get_returns_copy(self):
+        cache = make_cache()
+        cache.put(0, np.array([4, 2, 9]), np.array([3.0, 2.0, 1.0]))
+        served = cache.get(0)
+        served[0] = 99
+        np.testing.assert_array_equal(cache.get(0), [4, 2, 9])
+
+    def test_put_validation(self):
+        cache = make_cache(n=2)
+        with pytest.raises(ValueError):
+            cache.put(0, np.array([1, 2, 3]), np.array([3.0, 2.0, 1.0]))  # > n
+        with pytest.raises(ValueError):
+            cache.put(0, np.array([1]), np.array([1.0, 2.0]))  # misaligned
+        with pytest.raises(ValueError):
+            cache.put(0, np.array([1, 2]), np.array([1.0, 2.0]))  # increasing
+        with pytest.raises(ValueError):
+            cache.put(0, np.array([1, 99]), np.array([2.0, 1.0]))  # out of range
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TopNCache(0, 10)
+        with pytest.raises(ValueError):
+            TopNCache(3, 0)
+
+    def test_n_caps_at_num_items(self):
+        assert TopNCache(50, 10).n == 10
+
+    def test_invalidate_and_clear(self):
+        cache = make_cache()
+        cache.put(0, np.array([1]), np.array([1.0]))
+        cache.put(1, np.array([2]), np.array([1.0]))
+        assert cache.invalidate([0, 5]) == 1
+        assert cache.cached_users() == [1]
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    """The fine-grained rules: head membership and threshold crossing."""
+
+    def put_entry(self, cache, user=0):
+        # head = {4, 2, 9} with scores 3 > 2 > 1; threshold = 1.
+        cache.put(user, np.array([4, 2, 9]), np.array([3.0, 2.0, 1.0]))
+
+    def test_update_below_threshold_keeps_entry(self):
+        cache = make_cache()
+        self.put_entry(cache)
+        out = cache.apply_update([0], np.array([7]), np.array([[0.5]]))
+        assert out == []
+        assert 0 in cache
+
+    def test_update_reaching_threshold_invalidates(self):
+        cache = make_cache()
+        self.put_entry(cache)
+        out = cache.apply_update([0], np.array([7]), np.array([[1.0]]))  # tie
+        assert out == [0]
+        assert 0 not in cache
+        assert cache.stats.invalidations == 1
+
+    def test_update_of_head_item_invalidates_even_if_score_drops(self):
+        cache = make_cache()
+        self.put_entry(cache)
+        out = cache.apply_update([0], np.array([9]), np.array([[-50.0]]))
+        assert out == [0]
+
+    def test_seen_item_cannot_enter(self):
+        cache = make_cache(seen=[{7}])
+        self.put_entry(cache)
+        out = cache.apply_update([0], np.array([7]), np.array([[100.0]]))
+        assert out == []
+        assert 0 in cache
+
+    def test_mixed_users(self):
+        cache = make_cache()
+        self.put_entry(cache, user=0)
+        cache.put(1, np.array([5, 6, 8]), np.array([9.0, 8.0, 7.0]))
+        # Item 7 scores 2.0 for user 0 (enters: >= 1) and 2.0 for user 1
+        # (stays out: < 7).
+        out = cache.apply_update([0, 1], np.array([7]), np.array([[2.0], [2.0]]))
+        assert out == [0]
+        assert 1 in cache and 0 not in cache
+
+    def test_uncached_users_ignored(self):
+        cache = make_cache()
+        self.put_entry(cache, user=0)
+        cache.invalidate([0])
+        out = cache.apply_update([0], np.array([7]), np.array([[100.0]]))
+        assert out == []
+
+    def test_shape_validation(self):
+        cache = make_cache()
+        self.put_entry(cache)
+        with pytest.raises(ValueError):
+            cache.apply_update([0], np.array([7, 8]), np.array([[1.0]]))
+
+    def test_stats_track_update_batches(self):
+        cache = make_cache()
+        self.put_entry(cache)
+        cache.apply_update([0], np.array([7]), np.array([[0.0]]))
+        assert cache.stats.update_batches == 1
+        assert cache.stats.as_dict()["update_batches"] == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the load generator and the smoke serving benchmark."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    PhaseStats,
+    ZipfLoadGenerator,
+    format_serving_report,
+    measure_phase,
+    run_serving_bench,
+)
+
+
+class TestZipfLoadGenerator:
+    def test_deterministic_given_seed(self):
+        a = ZipfLoadGenerator(50, exponent=1.1, seed=3).sample(200)
+        b = ZipfLoadGenerator(50, exponent=1.1, seed=3).sample(200)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stream_advances(self):
+        gen = ZipfLoadGenerator(50, seed=0)
+        assert not np.array_equal(gen.sample(100), gen.sample(100))
+
+    def test_skewed_traffic(self):
+        gen = ZipfLoadGenerator(100, exponent=1.5, seed=0)
+        users = gen.sample(5000)
+        counts = np.bincount(users, minlength=100)
+        # The hottest decile should dwarf the coldest decile.
+        counts = np.sort(counts)
+        assert counts[-10:].sum() > 5 * counts[:10].sum()
+
+    def test_zero_exponent_is_uniform(self):
+        gen = ZipfLoadGenerator(10, exponent=0.0, seed=0)
+        np.testing.assert_allclose(gen.probabilities, np.full(10, 0.1))
+
+    def test_all_users_in_range(self):
+        users = ZipfLoadGenerator(7, seed=1).sample(500)
+        assert users.min() >= 0 and users.max() < 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfLoadGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfLoadGenerator(5, exponent=-1.0)
+        with pytest.raises(ValueError):
+            ZipfLoadGenerator(5).sample(0)
+
+
+class TestMeasurePhase:
+    def test_profile_shape(self):
+        class FakeService:
+            def recommend(self, user):
+                return np.array([user])
+
+        stats = measure_phase(FakeService(), "cold", np.arange(32))
+        assert isinstance(stats, PhaseStats)
+        assert stats.requests == 32
+        assert stats.throughput_rps > 0
+        assert stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+        payload = stats.as_dict()
+        assert set(payload) == {
+            "requests", "wall_s", "throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+        }
+
+
+class TestSmokeBench:
+    """The --smoke path is cheap enough for the default test tier."""
+
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_serving.json"
+        payload = run_serving_bench(smoke=True, out_path=str(out))
+        with open(out, encoding="utf-8") as handle:
+            assert json.load(handle) == payload
+        return payload
+
+    def test_phases_present(self, payload):
+        assert set(payload["phases"]) == {"cold", "warm_cache", "post_invalidation"}
+        for phase in payload["phases"].values():
+            assert phase["requests"] > 0
+            assert phase["throughput_rps"] > 0
+            assert phase["p50_ms"] <= phase["p95_ms"] <= phase["p99_ms"]
+
+    def test_attack_push_recorded(self, payload):
+        inv = payload["invalidation"]
+        assert inv["scores_changed"] is True
+        assert 0 <= inv["invalidated_users"] <= inv["cached_users"]
+        assert payload["cache"]["feature_updates"] == 1
+
+    def test_chr_monitor_tracked(self, payload):
+        chr_info = payload["chr_monitor"]
+        assert chr_info["category"] == "sock"
+        assert chr_info["rolling_percent_before_attack"] >= 0.0
+        assert chr_info["rolling_percent_after_attack"] >= 0.0
+
+    def test_report_formats(self, payload):
+        text = format_serving_report(payload)
+        assert "cold" in text and "warm_cache" in text and "post_invalidation" in text
+        assert "rolling CHR" in text
+
+    def test_invalid_requests(self):
+        with pytest.raises(ValueError):
+            run_serving_bench(requests=0, smoke=True)

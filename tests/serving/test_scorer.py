@@ -1,0 +1,174 @@
+"""Unit tests for the incremental batched scorer."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.recommenders import (
+    AMR,
+    AMRConfig,
+    BPRMF,
+    BPRMFConfig,
+    MostPop,
+    VBPR,
+    VBPRConfig,
+)
+from repro.serving import IncrementalScorer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=0, image_size=16)
+
+
+@pytest.fixture(scope="module")
+def features(dataset):
+    rng = np.random.default_rng(1)
+    base = rng.normal(0, 1, (dataset.num_categories, 12))
+    return base[dataset.item_categories] + rng.normal(0, 0.3, (dataset.num_items, 12))
+
+
+@pytest.fixture(scope="module")
+def vbpr(dataset, features):
+    return VBPR(
+        dataset.num_users, dataset.num_items, features, VBPRConfig(epochs=3, seed=0)
+    ).fit(dataset.feedback)
+
+
+@pytest.fixture(scope="module")
+def bprmf(dataset):
+    return BPRMF(
+        dataset.num_users, dataset.num_items, BPRMFConfig(epochs=3, seed=0)
+    ).fit(dataset.feedback)
+
+
+class TestConstruction:
+    def test_requires_fitted(self, dataset, features):
+        model = VBPR(dataset.num_users, dataset.num_items, features)
+        with pytest.raises(RuntimeError):
+            IncrementalScorer(model)
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(TypeError):
+            IncrementalScorer(object())
+
+    def test_rejects_features_for_nonvisual(self, bprmf, features):
+        with pytest.raises(ValueError):
+            IncrementalScorer(bprmf, features=features)
+
+    def test_rejects_wrong_feature_shape(self, vbpr):
+        with pytest.raises(ValueError):
+            IncrementalScorer(vbpr, features=np.zeros((3, 12)))
+
+    def test_snapshot_isolated_from_caller(self, vbpr, features):
+        feats = np.array(features, copy=True)
+        scorer = IncrementalScorer(vbpr, features=feats)
+        feats[0, 0] += 100.0
+        assert scorer.features[0, 0] != feats[0, 0]
+
+    def test_features_view_readonly(self, vbpr):
+        scorer = IncrementalScorer(vbpr)
+        with pytest.raises(ValueError):
+            scorer.features[0, 0] = 1.0
+
+    def test_nonvisual_has_no_features(self, bprmf):
+        with pytest.raises(AttributeError):
+            IncrementalScorer(bprmf).features
+
+
+class TestScoring:
+    def test_block_matches_score_all_vbpr(self, vbpr):
+        scorer = IncrementalScorer(vbpr)
+        users = [0, 5, 17]
+        np.testing.assert_allclose(
+            scorer.score_block(users), vbpr.score_all()[users], rtol=1e-10
+        )
+
+    def test_block_matches_score_all_bprmf(self, bprmf):
+        scorer = IncrementalScorer(bprmf)
+        np.testing.assert_allclose(
+            scorer.score_block([2, 3]), bprmf.score_all()[[2, 3]], rtol=1e-10
+        )
+
+    def test_block_matches_score_all_mostpop(self, dataset):
+        model = MostPop(dataset.num_users, dataset.num_items).fit(dataset.feedback)
+        scorer = IncrementalScorer(model)
+        np.testing.assert_allclose(
+            scorer.score_block([1, 4]), model.score_all()[[1, 4]]
+        )
+        np.testing.assert_allclose(
+            scorer.score_items([1], [3, 8]), model.score_all()[[1]][:, [3, 8]]
+        )
+
+    def test_score_items_matches_columns(self, vbpr):
+        scorer = IncrementalScorer(vbpr)
+        full = scorer.score_block([4, 9])
+        cols = scorer.score_items([4, 9], [0, 7, 31])
+        np.testing.assert_allclose(cols, full[:, [0, 7, 31]], rtol=1e-12)
+
+    def test_invalid_users_rejected(self, vbpr):
+        scorer = IncrementalScorer(vbpr)
+        with pytest.raises(ValueError):
+            scorer.score_block([vbpr.num_users])
+        with pytest.raises(ValueError):
+            scorer.score_block([-1])
+
+    def test_invalid_items_rejected(self, vbpr):
+        scorer = IncrementalScorer(vbpr)
+        with pytest.raises(ValueError):
+            scorer.score_items([0], [vbpr.num_items])
+        with pytest.raises(ValueError):
+            scorer.score_items([0], [])
+
+
+class TestUpdates:
+    def test_update_matches_full_rescore(self, dataset, vbpr, features):
+        scorer = IncrementalScorer(vbpr)
+        rng = np.random.default_rng(7)
+        item_ids = np.array([3, 40, 41])
+        new = rng.normal(0, 1, (3, features.shape[1]))
+        assert scorer.update_item_features(item_ids, new) is True
+
+        shadow = np.array(features, copy=True)
+        shadow[item_ids] = new
+        expected = vbpr.score_all(features=shadow)
+        users = np.arange(dataset.num_users)
+        np.testing.assert_allclose(scorer.score_block(users), expected, rtol=1e-10)
+
+    def test_untouched_columns_bit_identical(self, vbpr, features):
+        scorer = IncrementalScorer(vbpr)
+        before = scorer.score_block([0])
+        scorer.update_item_features([10], np.ones((1, features.shape[1])))
+        after = scorer.score_block([0])
+        untouched = np.delete(np.arange(vbpr.num_items), 10)
+        np.testing.assert_array_equal(before[:, untouched], after[:, untouched])
+
+    def test_nonvisual_update_is_noop(self, bprmf):
+        scorer = IncrementalScorer(bprmf)
+        before = scorer.score_block([0, 1])
+        assert scorer.update_item_features([5], np.ones((1, 99))) is False
+        assert scorer.feature_updates == 1
+        np.testing.assert_array_equal(scorer.score_block([0, 1]), before)
+
+    def test_amr_is_supported(self, dataset, features):
+        model = AMR(
+            dataset.num_users,
+            dataset.num_items,
+            features,
+            AMRConfig(epochs=3, pretrain_epochs=1, seed=0),
+        ).fit(dataset.feedback)
+        scorer = IncrementalScorer(model)
+        assert scorer.is_visual
+        np.testing.assert_allclose(
+            scorer.score_block([0]), model.score_all()[[0]], rtol=1e-10
+        )
+
+    def test_update_validation(self, vbpr, features):
+        scorer = IncrementalScorer(vbpr)
+        with pytest.raises(ValueError):
+            scorer.update_item_features([0], np.ones((2, features.shape[1])))
+        with pytest.raises(ValueError):
+            scorer.update_item_features([vbpr.num_items], np.ones((1, features.shape[1])))
+        bad = np.full((1, features.shape[1]), np.nan)
+        with pytest.raises(ValueError):
+            scorer.update_item_features([0], bad)

@@ -1,0 +1,177 @@
+"""Unit tests for the RecommenderService facade and the CHR monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import TAaMRPipeline
+from repro.data import tiny_dataset
+from repro.features import ClassifierConfig, FeatureExtractor, train_catalog_classifier
+from repro.recommenders import BPRMF, BPRMFConfig, VBPR, VBPRConfig
+from repro.serving import RecommenderService, RollingChrMonitor
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    ds = tiny_dataset(seed=0, image_size=16)
+    model, _ = train_catalog_classifier(
+        ds.images,
+        ds.item_categories,
+        ds.num_categories,
+        widths=(8,),
+        blocks_per_stage=(1,),
+        config=ClassifierConfig(epochs=6, batch_size=32, learning_rate=0.08, seed=0),
+    )
+    extractor = FeatureExtractor(model).fit(ds.images)
+    features = extractor.transform(ds.images)
+    vbpr = VBPR(ds.num_users, ds.num_items, features, VBPRConfig(epochs=5, seed=0)).fit(
+        ds.feedback
+    )
+    return TAaMRPipeline(ds, extractor, vbpr, cutoff=10)
+
+
+@pytest.fixture()
+def service(pipeline):
+    return RecommenderService.from_pipeline(pipeline, n=10)
+
+
+class TestRecommend:
+    def test_matches_offline_top_n(self, pipeline, service):
+        ds = pipeline.dataset
+        expected = pipeline.recommender.top_n(
+            10, feedback=ds.feedback, scores=pipeline.clean_scores
+        )
+        for user in (0, 3, 11, 39):
+            np.testing.assert_array_equal(service.recommend(user), expected[user])
+
+    def test_cached_second_request(self, service):
+        first = service.recommend(5)
+        second = service.recommend(5)
+        np.testing.assert_array_equal(first, second)
+        assert service.stats["hits"] == 1
+        assert service.stats["misses"] == 1
+
+    def test_prefix_for_smaller_n(self, service):
+        full = service.recommend(2)
+        np.testing.assert_array_equal(service.recommend(2, n=3), full[:3])
+
+    def test_excludes_train_positives(self, pipeline, service):
+        ds = pipeline.dataset
+        for user in range(ds.num_users):
+            served = set(service.recommend(user).tolist())
+            assert not served & set(ds.feedback.train_items[user].tolist())
+
+    def test_n_validation(self, service):
+        with pytest.raises(ValueError):
+            service.recommend(0, n=0)
+        with pytest.raises(ValueError):
+            service.recommend(0, n=service.n + 1)
+        with pytest.raises(ValueError):
+            service.recommend(-1)
+
+    def test_recommend_batch(self, pipeline, service):
+        block = service.recommend_batch([4, 7], n=5)
+        assert block.shape == (2, 5)
+        np.testing.assert_array_equal(block[0], service.recommend(4, n=5))
+
+
+class TestFeaturePush:
+    def test_push_changes_scores_and_lists_consistently(self, pipeline, service):
+        ds = pipeline.dataset
+        users = list(range(ds.num_users))
+        for user in users:
+            service.recommend(user)
+
+        rng = np.random.default_rng(3)
+        item_ids = np.array([1, 17, 33])
+        new_features = pipeline.clean_features[item_ids] + rng.normal(
+            0, 5.0, (3, pipeline.clean_features.shape[1])
+        )
+        report = service.push_item_features(item_ids, new_features)
+        assert report.scores_changed
+        assert report.cached_users == ds.num_users
+
+        shadow = pipeline.clean_features.copy()
+        shadow[item_ids] = new_features
+        expected = pipeline.recommender.top_n(
+            10,
+            feedback=ds.feedback,
+            scores=pipeline.recommender.score_all(features=shadow),
+        )
+        for user in users:
+            np.testing.assert_array_equal(service.recommend(user), expected[user])
+
+    def test_push_attacked_images_roundtrip(self, pipeline):
+        """Pushing the *clean* images must be a no-op on every served list."""
+        service = RecommenderService.from_pipeline(pipeline, n=10)
+        ds = pipeline.dataset
+        before = {user: service.recommend(user) for user in range(8)}
+        item_ids = np.arange(5)
+        report = service.push_attacked_images(item_ids, ds.images[item_ids])
+        assert report.scores_changed  # extraction ran, scores recomputed
+        for user, served in before.items():
+            np.testing.assert_array_equal(service.recommend(user), served)
+
+    def test_push_requires_extractor(self, pipeline):
+        service = RecommenderService(
+            pipeline.recommender,
+            feedback=pipeline.dataset.feedback,
+            features=pipeline.clean_features,
+        )
+        with pytest.raises(RuntimeError):
+            service.push_attacked_images([0], pipeline.dataset.images[:1])
+
+    def test_bprmf_service_is_attack_immune(self, pipeline):
+        ds = pipeline.dataset
+        model = BPRMF(ds.num_users, ds.num_items, BPRMFConfig(epochs=3, seed=0)).fit(
+            ds.feedback
+        )
+        service = RecommenderService(model, feedback=ds.feedback, n=10)
+        before = service.recommend(2)
+        report = service.push_item_features([0], np.ones((1, 7)))
+        assert not report.scores_changed
+        assert report.num_invalidated == 0
+        np.testing.assert_array_equal(service.recommend(2), before)
+        assert service.stats["hits"] == 1
+
+
+class TestMonitor:
+    def test_rolling_snapshot_sums_to_100(self, service):
+        for user in range(20):
+            service.recommend(user)
+        snapshot = service.monitor.snapshot()
+        assert sum(snapshot.values()) == pytest.approx(100.0)
+        assert service.monitor.observed == 20
+
+    def test_window_eviction(self):
+        monitor = RollingChrMonitor(np.array([0, 1]), ["a", "b"], window=2)
+        monitor.observe(np.array([0]))
+        monitor.observe(np.array([0]))
+        monitor.observe(np.array([1]))  # evicts the first
+        assert monitor.chr_percent("a") == pytest.approx(50.0)
+        assert monitor.chr_percent("b") == pytest.approx(50.0)
+
+    def test_empty_snapshot(self):
+        monitor = RollingChrMonitor(np.array([0]), ["a"], window=4)
+        assert monitor.snapshot() == {"a": 0.0}
+        assert monitor.chr_percent("a") == 0.0
+
+    def test_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            RollingChrMonitor(np.array([0]), ["a"], window=0)
+        with pytest.raises(ValueError):
+            RollingChrMonitor(np.array([5]), ["a"], window=2)
+        with pytest.raises(ValueError):
+            RecommenderService(
+                pipeline.recommender,
+                features=pipeline.clean_features,
+                item_classes=pipeline.item_classes,
+                class_names=None,
+            )
+
+
+class TestUniverseValidation:
+    def test_mismatched_feedback_rejected(self, pipeline):
+        other = tiny_dataset(seed=1, image_size=16)
+        model = BPRMF(3, 5, BPRMFConfig(epochs=1))
+        with pytest.raises(ValueError):
+            RecommenderService(model, feedback=other.feedback)
