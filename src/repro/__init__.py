@@ -14,7 +14,10 @@ The package rebuilds the paper's entire stack from scratch on numpy:
 * :mod:`repro.core` — the TAaMR pipeline, CHR@N metric and scenarios;
 * :mod:`repro.metrics` — PSNR, SSIM, PSM;
 * :mod:`repro.defenses` — adversarial training and distillation;
-* :mod:`repro.experiments` — configs and runners behind the benchmarks;
+* :mod:`repro.artifacts` — the content-addressed, versioned artifact
+  store every serialization path shares;
+* :mod:`repro.experiments` — configs, the stage DAG and the runners
+  behind the benchmarks;
 * :mod:`repro.serving` — the online serving layer: incremental scorer,
   invalidating top-N cache, service facade and load generator.
 
@@ -29,7 +32,7 @@ Quickstart::
               outcome.epsilon_255, outcome.chr_source_after)
 """
 
-from . import attacks, core, data, defenses, experiments, features, metrics, nn, recommenders, serving
+from . import artifacts, attacks, core, data, defenses, experiments, features, metrics, nn, recommenders, serving
 from .core import AttackScenario, TAaMRPipeline
 from .experiments import ExperimentConfig, build_context, men_config, women_config
 from .serving import RecommenderService
@@ -38,6 +41,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn",
+    "artifacts",
     "data",
     "features",
     "recommenders",

@@ -1,0 +1,173 @@
+"""The single on-disk artifact protocol shared by every serialization path.
+
+Historically the repo had three ways to persist trained state — module
+``.npz`` archives (:mod:`repro.nn.serialization`), dataset archives
+(:mod:`repro.data.serialization`) and ad-hoc recommender-state dicts in
+``experiments/context.py`` — none of which recorded *what produced
+them*.  A stale file silently deserialized into a fresh run.
+
+This module defines one envelope all of them now share.  An artifact is
+a plain ``.npz`` archive containing:
+
+* ``__artifact__`` — a JSON header with the protocol version, the
+  artifact ``kind``, a per-kind ``schema_version``, an optional
+  producer ``fingerprint`` (hash of the config/inputs that built it),
+  a ``content_hash`` over the payload arrays, and free-form ``meta``;
+* the payload arrays under their own (non-dunder) names.
+
+:func:`read_payload` *refuses* to load on any mismatch — missing
+header, wrong kind, wrong schema version, wrong fingerprint, or a
+payload whose bytes no longer hash to the recorded ``content_hash`` —
+instead of silently handing stale or corrupted state to the caller.
+No pickle is involved anywhere, so files stay portable and safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+PROTOCOL_VERSION = 1
+_HEADER_KEY = "__artifact__"
+
+
+class ArtifactError(Exception):
+    """Base class for every artifact load/store failure."""
+
+
+class ArtifactMissingError(ArtifactError, FileNotFoundError):
+    """The requested artifact file does not exist."""
+
+
+class ArtifactSchemaError(ArtifactError, ValueError):
+    """The file exists but its envelope is missing, foreign or outdated."""
+
+
+class FingerprintMismatchError(ArtifactError, ValueError):
+    """The artifact was produced under a different config fingerprint."""
+
+
+class ArtifactIntegrityError(ArtifactError, ValueError):
+    """The payload bytes no longer match the recorded content hash."""
+
+
+def content_hash(arrays: Mapping[str, np.ndarray], meta: Optional[Dict[str, Any]] = None) -> str:
+    """Deterministic sha256 over payload arrays (name, dtype, shape, bytes).
+
+    ``meta`` participates too so that scalar results stored outside the
+    arrays (e.g. a classifier accuracy) also invalidate downstream
+    consumers when they change.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    if meta:
+        digest.update(json.dumps(meta, sort_keys=True, default=str).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def write_payload(
+    path: str,
+    *,
+    kind: str,
+    schema_version: int,
+    arrays: Mapping[str, np.ndarray],
+    fingerprint: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    compress: bool = False,
+) -> str:
+    """Write one artifact; returns its payload ``content_hash``."""
+    for name in arrays:
+        if name.startswith("__"):
+            raise ValueError(f"payload array name '{name}' is reserved")
+    meta = dict(meta or {})
+    digest = content_hash(arrays, meta)
+    header = {
+        "protocol": PROTOCOL_VERSION,
+        "kind": kind,
+        "schema_version": int(schema_version),
+        "fingerprint": fingerprint,
+        "content_hash": digest,
+        "meta": meta,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    writer = np.savez_compressed if compress else np.savez
+    writer(path, **{_HEADER_KEY: np.array(json.dumps(header))}, **dict(arrays))
+    return digest
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """The JSON envelope of an artifact, without loading its payload."""
+    if not os.path.exists(path):
+        raise ArtifactMissingError(f"no artifact at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _HEADER_KEY not in archive.files:
+            raise ArtifactSchemaError(
+                f"{path} has no artifact envelope (pre-protocol or foreign file); "
+                "refusing to load unversioned state"
+            )
+        try:
+            header = json.loads(str(archive[_HEADER_KEY]))
+        except json.JSONDecodeError as error:
+            raise ArtifactSchemaError(f"{path} has a corrupted envelope: {error}") from error
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ArtifactSchemaError(f"{path} has a malformed artifact envelope")
+    return header
+
+
+def read_payload(
+    path: str,
+    *,
+    kind: str,
+    schema_version: int,
+    fingerprint: Optional[str] = None,
+    verify_integrity: bool = True,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any], str]:
+    """Load one artifact, refusing on any mismatch.
+
+    Returns ``(arrays, meta, content_hash)``.  ``fingerprint=None``
+    skips the fingerprint check (callers that key files by path only).
+    """
+    header = read_header(path)
+    if header.get("protocol") != PROTOCOL_VERSION:
+        raise ArtifactSchemaError(
+            f"{path}: artifact protocol {header.get('protocol')} "
+            f"(this build reads protocol {PROTOCOL_VERSION})"
+        )
+    if header["kind"] != kind:
+        raise ArtifactSchemaError(
+            f"{path}: artifact kind '{header['kind']}' (expected '{kind}')"
+        )
+    if header.get("schema_version") != int(schema_version):
+        raise ArtifactSchemaError(
+            f"{path}: schema version {header.get('schema_version')} for kind "
+            f"'{kind}' (this build reads version {schema_version}); re-run the "
+            "producing stage instead of loading stale state"
+        )
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise FingerprintMismatchError(
+            f"{path}: produced under fingerprint {header.get('fingerprint')}, "
+            f"expected {fingerprint}; the config that built it differs from "
+            "the current one"
+        )
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
+    meta = dict(header.get("meta") or {})
+    recorded = header.get("content_hash")
+    if verify_integrity:
+        actual = content_hash(arrays, meta)
+        if actual != recorded:
+            raise ArtifactIntegrityError(
+                f"{path}: payload hash {actual[:12]} does not match the "
+                f"recorded {str(recorded)[:12]} (file corrupted or edited)"
+            )
+    return arrays, meta, str(recorded)

@@ -7,6 +7,8 @@ Four subcommands cover the daily workflows::
     python -m repro attack  --dataset men --source sock --target running_shoe \
                             --attack pgd --eps 8 --model vbpr --save-images out.png
     python -m repro tables  --dataset men --scale 0.006
+    python -m repro run     --dataset men --cache-dir .cache --explain
+    python -m repro run     --dataset men --cache-dir .cache --manifest run.json
     python -m repro bench   --scale 0.003 --out BENCH_perf_engine.json
     python -m repro serve-bench --requests 600 --out BENCH_serving.json
 
@@ -16,7 +18,10 @@ TAaMR attack and reports CHR / success / visual metrics; ``tables``
 regenerates the paper's Tables II-IV on one dataset; ``bench`` times the
 engine's float64-baseline vs float32-optimized configurations;
 ``serve-bench`` load-tests the online serving layer (cold vs cached vs
-post-attack-invalidation phases).
+post-attack-invalidation phases); ``run`` executes the experiment stage
+DAG against a content-addressed artifact store — only stages whose
+inputs changed re-run — and emits a JSON run manifest (per-stage
+fingerprints, artifact hashes, cache hit/built actions, timings).
 """
 
 from __future__ import annotations
@@ -95,7 +100,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     context = _build(args)
-    print(f"classifier accuracy: {context.classifier_accuracy:.3f}")
+    accuracy = context.classifier_accuracy
+    print(
+        "classifier accuracy: "
+        + (f"{accuracy:.3f}" if accuracy is not None else "unknown (not recorded)")
+    )
     from .recommenders import evaluate_ranking
 
     for name in ("VBPR", "AMR"):
@@ -184,6 +193,63 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    from .artifacts import ArtifactStore
+    from .experiments import (
+        STAGE_ORDER,
+        StageRunner,
+        format_manifest,
+        format_plan,
+    )
+
+    factory = men_config if args.dataset == "men" else women_config
+    overrides = dict(scale=args.scale, seed=args.seed, cutoff=args.cutoff)
+    if args.epsilons:
+        try:
+            overrides["epsilons_255"] = tuple(
+                float(part) for part in args.epsilons.split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"error: --epsilons must be comma-separated numbers", file=sys.stderr)
+            return 2
+    if args.pgd_steps is not None:
+        overrides["pgd_steps"] = args.pgd_steps
+    config = factory(**overrides)
+
+    stages = None
+    if args.stages:
+        stages = [part.strip() for part in args.stages.split(",") if part.strip()]
+        unknown = [name for name in stages if name not in STAGE_ORDER]
+        if unknown:
+            print(
+                f"error: unknown stages {unknown}; available: {list(STAGE_ORDER)}",
+                file=sys.stderr,
+            )
+            return 2
+    force = (
+        [part.strip() for part in args.force.split(",") if part.strip()]
+        if args.force
+        else ()
+    )
+
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    runner = StageRunner(config, store=store, verbose=not args.quiet)
+
+    if args.explain:
+        print(format_plan(runner.plan(stages)))
+        return 0
+
+    results, manifest = runner.run(stages=stages, force=force)
+    print(format_manifest(manifest))
+    if args.manifest:
+        manifest.save(args.manifest)
+        print(f"manifest written to {args.manifest}")
+    if results.tables_text and not args.quiet:
+        print()
+        print(results.tables_text)
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     context = _build(args)
     grids = [run_attack_grid(context, name) for name in ("VBPR", "AMR")]
@@ -233,6 +299,42 @@ def build_parser() -> argparse.ArgumentParser:
     tables = subparsers.add_parser("tables", help="regenerate Tables II-IV")
     _add_common_arguments(tables)
     tables.set_defaults(handler=cmd_tables)
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute the experiment stage DAG with artifact-store caching",
+        description="Run the staged pipeline (dataset -> classifier -> features "
+        "-> recommenders -> clean scores -> attack grid -> tables) against a "
+        "content-addressed artifact store; only stages whose inputs changed "
+        "re-execute, and every run emits a JSON manifest of per-stage "
+        "fingerprints, artifact hashes, hit/built actions and timings.",
+    )
+    _add_common_arguments(run)
+    run.add_argument("--cutoff", type=int, default=100, help="N of CHR@N")
+    run.add_argument(
+        "--epsilons", default=None,
+        help="comma-separated attack grid on the 0-255 scale (e.g. 2,4,8,16)",
+    )
+    run.add_argument("--pgd-steps", type=int, default=None, help="PGD iterations")
+    run.add_argument(
+        "--stages", default=None,
+        help="comma-separated target stages (deps are added automatically; "
+        "default: the full DAG through 'tables')",
+    )
+    run.add_argument(
+        "--force", default=None,
+        help="comma-separated stages to rebuild even when validly cached",
+    )
+    run.add_argument(
+        "--explain", action="store_true",
+        help="print the stage plan (fingerprint + cached/missing) and exit "
+        "without executing anything",
+    )
+    run.add_argument(
+        "--manifest", default=None,
+        help="write the JSON run manifest to this path",
+    )
+    run.set_defaults(handler=cmd_run)
 
     bench = subparsers.add_parser(
         "bench", help="time the engine (float64 baseline vs float32 optimized)"

@@ -8,7 +8,7 @@ from .chr import (
     chr_report,
     weighted_category_hit_ratio,
 )
-from .pipeline import AttackOutcome, ItemReport, TAaMRPipeline, VisualQuality
+from .pipeline import AttackOutcome, CatalogState, ItemReport, TAaMRPipeline, VisualQuality
 from .untargeted import UntargetedOutcome, run_untargeted_attack
 from .scenarios import AttackScenario, make_scenario, paper_scenarios, select_scenarios
 
@@ -22,6 +22,7 @@ __all__ = [
     "select_scenarios",
     "paper_scenarios",
     "TAaMRPipeline",
+    "CatalogState",
     "AttackOutcome",
     "ItemReport",
     "VisualQuality",

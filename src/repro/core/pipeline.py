@@ -29,6 +29,22 @@ from .scenarios import AttackScenario
 
 
 @dataclass
+class CatalogState:
+    """Precomputed catalog-wide state a pipeline can be warm-started from.
+
+    Produced by the ``features`` / ``clean_scores`` stages of the
+    experiment DAG (or by a previous pipeline) so a new
+    :class:`TAaMRPipeline` skips the full-catalog classifier pass and
+    the clean scoring GEMM in ``__init__``.
+    """
+
+    item_classes: np.ndarray  # classifier-assigned classes, (|I|,)
+    raw_features: np.ndarray  # un-standardised layer-e features, (|I|, D)
+    features: Optional[np.ndarray] = None  # standardised; derived when None
+    clean_scores: Optional[np.ndarray] = None  # (|U|, |I|); recomputed when None
+
+
+@dataclass
 class VisualQuality:
     """Mean visual-distortion metrics of an attacked image set (Table IV)."""
 
@@ -94,6 +110,10 @@ class TAaMRPipeline:
         ``score_all`` accepts replacement features.
     cutoff:
         N of CHR@N and of the recommendation lists (paper: 100).
+    precomputed:
+        Optional :class:`CatalogState` from the artifact store (or an
+        earlier pipeline); when given, the catalog classifier pass and
+        optionally the clean scoring are reused instead of recomputed.
     """
 
     def __init__(
@@ -102,6 +122,7 @@ class TAaMRPipeline:
         extractor: FeatureExtractor,
         recommender: VBPR,
         cutoff: int = 100,
+        precomputed: Optional[CatalogState] = None,
     ) -> None:
         if not isinstance(recommender, VBPR):
             raise TypeError("TAaMR requires a visual recommender (VBPR or AMR)")
@@ -120,12 +141,34 @@ class TAaMRPipeline:
         # One trunk pass over the catalog yields both the classes and the
         # raw layer-e features; the raw features are kept so PSM never has
         # to re-extract the clean side, and are standardised once for the
-        # recommender.
-        self.item_classes, self.clean_raw_features = extractor.model.predict_with_features(
-            dataset.images, batch_size=extractor.batch_size
-        )
-        self.clean_features = extractor.transform_raw_features(self.clean_raw_features)
-        self.clean_scores = recommender.score_all(features=self.clean_features)
+        # recommender.  A CatalogState (e.g. loaded from the artifact
+        # store) replaces that pass entirely.
+        if precomputed is not None:
+            item_classes = np.asarray(precomputed.item_classes, dtype=np.int64)
+            raw = np.asarray(precomputed.raw_features, dtype=np.float64)
+            if item_classes.shape != (dataset.num_items,):
+                raise ValueError("precomputed item_classes do not cover the catalog")
+            if raw.ndim != 2 or raw.shape[0] != dataset.num_items:
+                raise ValueError("precomputed raw_features do not cover the catalog")
+            self.item_classes = item_classes
+            self.clean_raw_features = raw
+            self.clean_features = (
+                np.asarray(precomputed.features, dtype=np.float64)
+                if precomputed.features is not None
+                else extractor.transform_raw_features(raw)
+            )
+        else:
+            self.item_classes, self.clean_raw_features = extractor.model.predict_with_features(
+                dataset.images, batch_size=extractor.batch_size
+            )
+            self.clean_features = extractor.transform_raw_features(self.clean_raw_features)
+        if precomputed is not None and precomputed.clean_scores is not None:
+            scores = np.asarray(precomputed.clean_scores, dtype=np.float64)
+            if scores.shape != (dataset.num_users, dataset.num_items):
+                raise ValueError("precomputed clean_scores have the wrong shape")
+            self.clean_scores = scores
+        else:
+            self.clean_scores = recommender.score_all(features=self.clean_features)
         self.clean_top_n = recommender.top_n(
             self.cutoff, feedback=dataset.feedback, scores=self.clean_scores
         )

@@ -13,6 +13,22 @@ from .runner import (
     format_table4,
     run_attack_grid,
 )
+from .stages import (
+    STAGE_ORDER,
+    STAGE_SPECS,
+    RunManifest,
+    StageOutcome,
+    StagePlan,
+    StageResults,
+    StageRunner,
+    StageSpec,
+    format_manifest,
+    format_plan,
+    rows_to_grids,
+    run_stages,
+    stage_closure,
+    stage_fingerprints,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -35,4 +51,18 @@ __all__ = [
     "BENCH_MODES",
     "run_perf_bench",
     "format_perf_report",
+    "STAGE_ORDER",
+    "STAGE_SPECS",
+    "StageSpec",
+    "StagePlan",
+    "StageOutcome",
+    "StageResults",
+    "StageRunner",
+    "RunManifest",
+    "run_stages",
+    "stage_closure",
+    "stage_fingerprints",
+    "format_plan",
+    "format_manifest",
+    "rows_to_grids",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Tuple
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -54,11 +54,27 @@ class ExperimentConfig:
     def cache_key(self) -> str:
         """Deterministic hash of every training-relevant field."""
         payload = asdict(self)
-        # The attack grid does not influence the trained artifacts.
+        # Neither the attack grid nor the evaluation cutoff influences
+        # the trained artifacts (cutoff is read only at CHR@N time, so
+        # changing N must not spuriously retrain anything).
         payload.pop("epsilons_255")
         payload.pop("pgd_steps")
+        payload.pop("cutoff")
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def field_fingerprint(self, fields: Tuple[str, ...]) -> Dict[str, object]:
+        """The named config fields as a canonical (JSON-safe) mapping.
+
+        The stage DAG uses this to fingerprint each stage over *only*
+        the fields it actually reads, so unrelated config edits leave
+        its artifacts valid.
+        """
+        payload = asdict(self)
+        unknown = [name for name in fields if name not in payload]
+        if unknown:
+            raise ValueError(f"unknown config fields {unknown}")
+        return {name: payload[name] for name in fields}
 
 
 def men_config(**overrides) -> ExperimentConfig:

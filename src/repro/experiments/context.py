@@ -1,29 +1,37 @@
-"""Trained experiment context with in-process and on-disk caching.
+"""Trained experiment context — a thin adapter over the stage DAG.
 
 Building a TAaMR experiment means: generate the dataset, train the
-classifier, extract features, train VBPR and AMR.  On CPU that costs
-tens of seconds, so the context caches:
+classifier, extract features, train VBPR and AMR.  Those steps now live
+in the explicit stage DAG of :mod:`repro.experiments.stages`;
+:func:`build_context` runs the ``dataset → classifier → features →
+{vbpr, amr}`` sub-graph and wraps the results in the historical
+:class:`ExperimentContext` shape every benchmark and example consumes.
+
+Caching happens at two levels:
 
 * **in process** — a module-level registry keyed by the config hash, so
   the benchmark files for Tables II, III and IV (which share one trained
   system) build it exactly once per pytest session;
-* **on disk** (optional ``cache_dir``) — classifier weights and
-  recommender parameters as ``.npz``, so re-running the benchmark suite
-  skips training entirely.
+* **on disk** (optional ``cache_dir``) — a content-addressed
+  :class:`~repro.artifacts.ArtifactStore`: dataset, classifier weights,
+  extracted features (with the extractor's normalization state) and
+  recommender parameters each persist as a versioned, fingerprinted
+  artifact, so re-running skips *every* stage whose inputs are
+  unchanged — including feature extraction, which the old layout
+  recomputed on each run.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
-from ..data import MultimediaDataset, amazon_men_like, amazon_women_like
-from ..features import ClassifierConfig, ClassifierTrainer, FeatureExtractor
-from ..nn import TinyResNet, load_state, save_state
-from ..recommenders import AMR, AMRConfig, VBPR, VBPRConfig
+from ..data import MultimediaDataset
+from ..features import FeatureExtractor
+from ..nn import TinyResNet
+from ..recommenders import AMR, VBPR
 from .config import ExperimentConfig
 
 _CONTEXT_REGISTRY: Dict[str, "ExperimentContext"] = {}
@@ -31,16 +39,24 @@ _CONTEXT_REGISTRY: Dict[str, "ExperimentContext"] = {}
 
 @dataclass
 class ExperimentContext:
-    """Everything a table run needs, fully trained."""
+    """Everything a table run needs, fully trained.
+
+    ``classifier_accuracy`` is ``None`` when the classifier was loaded
+    from an artifact that did not record its training accuracy — an
+    explicit "unknown", not a ``-1.0`` sentinel.
+    """
 
     config: ExperimentConfig
     dataset: MultimediaDataset
     classifier: TinyResNet
-    classifier_accuracy: float
+    classifier_accuracy: Optional[float]
     extractor: FeatureExtractor
     features: np.ndarray
     vbpr: VBPR
     amr: AMR
+    item_classes: Optional[np.ndarray] = field(default=None, repr=False)
+    raw_features: Optional[np.ndarray] = field(default=None, repr=False)
+    manifest: Optional[object] = field(default=None, repr=False)  # RunManifest
 
     def recommender(self, name: str) -> VBPR:
         """Look up a model by the names used in the paper's tables."""
@@ -51,137 +67,67 @@ class ExperimentContext:
             return self.amr
         raise KeyError(f"unknown recommender '{name}' (expected VBPR or AMR)")
 
+    def catalog_state(self):
+        """Precomputed :class:`~repro.core.CatalogState` for pipelines."""
+        if self.item_classes is None or self.raw_features is None:
+            return None
+        from ..core import CatalogState
 
-def _build_dataset(config: ExperimentConfig) -> MultimediaDataset:
-    builder = amazon_men_like if config.dataset == "amazon_men_like" else amazon_women_like
-    return builder(scale=config.scale, image_size=config.image_size, seed=config.seed)
+        return CatalogState(
+            item_classes=self.item_classes,
+            raw_features=self.raw_features,
+            features=self.features,
+        )
 
 
 def _recommender_state(model: VBPR) -> Dict[str, np.ndarray]:
-    return {
-        "user_factors": model.user_factors,
-        "item_factors": model.item_factors,
-        "visual_user_factors": model.visual_user_factors,
-        "embedding": model.embedding,
-        "visual_bias": model.visual_bias,
-        "item_bias": model.item_bias,
-    }
+    """Back-compat shim over :meth:`VBPR.state_dict`."""
+    return model.state_dict()
 
 
 def _load_recommender_state(model: VBPR, state: Dict[str, np.ndarray]) -> None:
-    for key, value in _recommender_state(model).items():
-        loaded = state[key]
-        if loaded.shape != value.shape:
-            raise ValueError(f"cached recommender field '{key}' has wrong shape")
-    model.user_factors = state["user_factors"].copy()
-    model.item_factors = state["item_factors"].copy()
-    model.visual_user_factors = state["visual_user_factors"].copy()
-    model.embedding = state["embedding"].copy()
-    model.visual_bias = state["visual_bias"].copy()
-    model.item_bias = state["item_bias"].copy()
-    model._fitted = True
+    """Back-compat shim over :meth:`VBPR.load_state_dict`.
+
+    Raises a :class:`ValueError` naming the missing/unexpected keys when
+    the cached state is corrupted, instead of an opaque ``KeyError``.
+    """
+    model.load_state_dict(state)
 
 
 def build_context(
     config: ExperimentConfig, cache_dir: Optional[str] = None, verbose: bool = False
 ) -> ExperimentContext:
-    """Build (or fetch) the trained context for ``config``."""
+    """Build (or fetch) the trained context for ``config``.
+
+    A thin adapter over :class:`~repro.experiments.stages.StageRunner`:
+    runs the training sub-graph (``dataset`` through ``vbpr``/``amr``)
+    against the artifact store rooted at ``cache_dir`` and repackages
+    the stage results.  The run manifest is attached as
+    ``context.manifest`` for provenance.
+    """
     key = config.cache_key()
     if key in _CONTEXT_REGISTRY:
         return _CONTEXT_REGISTRY[key]
 
-    def log(message: str) -> None:
-        if verbose:
-            print(f"[repro] {message}", flush=True)
+    from ..artifacts import ArtifactStore
+    from .stages import StageRunner
 
-    dataset = _build_dataset(config)
-    log(f"dataset {dataset.name}: {dataset.stats()}")
-
-    classifier = TinyResNet(
-        num_classes=dataset.num_categories,
-        widths=config.classifier_widths,
-        blocks_per_stage=config.classifier_blocks,
-        seed=config.seed,
-    )
-    classifier_path = (
-        os.path.join(cache_dir, f"classifier_{key}.npz") if cache_dir else None
-    )
-    accuracy_path = (
-        os.path.join(cache_dir, f"classifier_{key}_acc.npy") if cache_dir else None
-    )
-    if classifier_path and os.path.exists(classifier_path):
-        load_state(classifier, classifier_path)
-        classifier_accuracy = float(np.load(accuracy_path)) if os.path.exists(accuracy_path) else -1.0
-        classifier.eval()
-        log("classifier loaded from cache")
-    else:
-        trainer = ClassifierTrainer(
-            classifier,
-            ClassifierConfig(
-                epochs=config.classifier_epochs,
-                batch_size=config.classifier_batch_size,
-                learning_rate=config.classifier_lr,
-                seed=config.seed,
-            ),
-        )
-        report = trainer.fit(dataset.images, dataset.item_categories)
-        classifier_accuracy = report.final_train_accuracy
-        log(f"classifier trained: accuracy {classifier_accuracy:.3f}")
-        if classifier_path:
-            os.makedirs(cache_dir, exist_ok=True)
-            save_state(classifier, classifier_path)
-            np.save(accuracy_path, classifier_accuracy)
-
-    extractor = FeatureExtractor(classifier).fit(dataset.images)
-    features = extractor.transform(dataset.images)
-
-    vbpr = VBPR(
-        dataset.num_users,
-        dataset.num_items,
-        features,
-        VBPRConfig(epochs=config.recommender_epochs, seed=config.seed),
-    )
-    amr = AMR(
-        dataset.num_users,
-        dataset.num_items,
-        features,
-        AMRConfig(
-            epochs=config.recommender_epochs,
-            pretrain_epochs=config.amr_pretrain_epochs,
-            gamma=config.amr_gamma,
-            eta=config.amr_eta,
-            seed=config.seed,
-        ),
-    )
-    rec_path = os.path.join(cache_dir, f"recommenders_{key}.npz") if cache_dir else None
-    if rec_path and os.path.exists(rec_path):
-        with np.load(rec_path) as archive:
-            _load_recommender_state(
-                vbpr, {k[5:]: archive[k] for k in archive.files if k.startswith("vbpr_")}
-            )
-            _load_recommender_state(
-                amr, {k[4:]: archive[k] for k in archive.files if k.startswith("amr_")}
-            )
-        log("recommenders loaded from cache")
-    else:
-        vbpr.fit(dataset.feedback)
-        amr.fit(dataset.feedback)
-        log("recommenders trained")
-        if rec_path:
-            os.makedirs(cache_dir, exist_ok=True)
-            payload = {f"vbpr_{k}": v for k, v in _recommender_state(vbpr).items()}
-            payload.update({f"amr_{k}": v for k, v in _recommender_state(amr).items()})
-            np.savez(rec_path, **payload)
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    runner = StageRunner(config, store=store, verbose=verbose)
+    results, manifest = runner.run(stages=("vbpr", "amr"))
 
     context = ExperimentContext(
         config=config,
-        dataset=dataset,
-        classifier=classifier,
-        classifier_accuracy=classifier_accuracy,
-        extractor=extractor,
-        features=features,
-        vbpr=vbpr,
-        amr=amr,
+        dataset=results.dataset,
+        classifier=results.classifier,
+        classifier_accuracy=results.classifier_accuracy,
+        extractor=results.extractor,
+        features=results.features,
+        vbpr=results.vbpr,
+        amr=results.amr,
+        item_classes=results.item_classes,
+        raw_features=results.raw_features,
+        manifest=manifest,
     )
     _CONTEXT_REGISTRY[key] = context
     return context

@@ -75,7 +75,13 @@ def run_attack_grid(
 
     recommender = context.recommender(recommender_name)
     pipeline = TAaMRPipeline(
-        context.dataset, context.extractor, recommender, cutoff=context.config.cutoff
+        context.dataset,
+        context.extractor,
+        recommender,
+        cutoff=context.config.cutoff,
+        # Contexts built through the stage DAG carry the catalog
+        # classifier pass; reusing it skips one full forward here.
+        precomputed=context.catalog_state(),
     )
     resolved_scenarios = (
         list(scenarios)

@@ -1,0 +1,802 @@
+"""Explicit experiment stage DAG with selective invalidation.
+
+The paper's Fig. 1 pipeline is an acyclic chain of expensive stages::
+
+    dataset ─→ classifier ─→ features ─┬─→ vbpr ─┬─→ clean_scores ─→ attack_grid ─→ tables
+                                       └─→ amr ──┘
+
+Each :class:`StageSpec` declares the upstream stages it consumes and the
+:class:`~repro.experiments.config.ExperimentConfig` fields it actually
+reads.  A stage's *fingerprint* hashes exactly those two things, so:
+
+* editing ``epsilons_255`` re-fingerprints only ``attack_grid`` and
+  ``tables`` — dataset, classifier, features and both recommenders load
+  from the :class:`~repro.artifacts.ArtifactStore` untouched;
+* changing ``cutoff`` re-runs scoring and the grid but never retrains;
+* swapping ``classifier_epochs`` invalidates everything downstream of
+  the classifier, as it must.
+
+Every artifact additionally records the *content hashes* of the inputs
+it was built from; :class:`StageRunner` verifies them on load and
+rebuilds instead of silently consuming a stale chain.  A run emits a
+:class:`RunManifest` — per-stage fingerprints, artifact hashes,
+hit/built actions and wall-clock timings — the JSON trail behind
+``python -m repro run``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..artifacts import ArtifactError, ArtifactStore, content_hash
+from ..attacks import FGSM, PGD
+from ..attacks.projections import epsilon_from_255
+from ..core import CatalogState, TAaMRPipeline, VisualQuality, paper_scenarios
+from ..core.scenarios import AttackScenario
+from ..data import MultimediaDataset, amazon_men_like, amazon_women_like
+from ..data.serialization import pack_dataset, unpack_dataset
+from ..features import ClassifierConfig, ClassifierTrainer, FeatureExtractor
+from ..nn import TinyResNet
+from ..recommenders import AMR, AMRConfig, VBPR, VBPRConfig
+from .config import ExperimentConfig
+
+RECOMMENDER_NAMES = ("VBPR", "AMR")
+
+
+# --------------------------------------------------------------------- #
+# Stage declarations
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One node of the DAG: dependencies + the config fields it reads."""
+
+    name: str
+    deps: Tuple[str, ...]
+    config_fields: Tuple[str, ...]
+    schema_version: int = 1
+
+    @property
+    def kind(self) -> str:
+        return f"stage_{self.name}"
+
+
+STAGE_SPECS: Tuple[StageSpec, ...] = (
+    StageSpec("dataset", (), ("dataset", "scale", "image_size", "seed")),
+    StageSpec(
+        "classifier",
+        ("dataset",),
+        (
+            "classifier_widths",
+            "classifier_blocks",
+            "classifier_epochs",
+            "classifier_lr",
+            "classifier_batch_size",
+            "seed",
+        ),
+    ),
+    StageSpec("features", ("dataset", "classifier"), ()),
+    StageSpec("vbpr", ("dataset", "features"), ("recommender_epochs", "seed")),
+    StageSpec(
+        "amr",
+        ("dataset", "features"),
+        ("recommender_epochs", "amr_pretrain_epochs", "amr_gamma", "amr_eta", "seed"),
+    ),
+    StageSpec("clean_scores", ("dataset", "features", "vbpr", "amr"), ("cutoff",)),
+    StageSpec(
+        "attack_grid",
+        ("dataset", "classifier", "features", "vbpr", "amr", "clean_scores"),
+        ("epsilons_255", "pgd_steps", "cutoff", "seed"),
+    ),
+    StageSpec("tables", ("attack_grid",), ("epsilons_255",)),
+)
+
+STAGE_ORDER: Tuple[str, ...] = tuple(spec.name for spec in STAGE_SPECS)
+_SPEC_BY_NAME: Dict[str, StageSpec] = {spec.name: spec for spec in STAGE_SPECS}
+
+
+def stage_fingerprints(config: ExperimentConfig) -> Dict[str, str]:
+    """Per-stage fingerprints: own config fields + upstream fingerprints.
+
+    Purely config-derived (no artifact needed), so plans and
+    ``--explain`` work before anything has ever been built.
+    """
+    fingerprints: Dict[str, str] = {}
+    for spec in STAGE_SPECS:
+        payload = {
+            "stage": spec.name,
+            "schema": spec.schema_version,
+            "config": config.field_fingerprint(spec.config_fields),
+            "deps": {dep: fingerprints[dep] for dep in spec.deps},
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        fingerprints[spec.name] = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return fingerprints
+
+
+def stage_closure(stages: Sequence[str]) -> List[str]:
+    """The requested stages plus every transitive dependency, topo-ordered."""
+    unknown = [name for name in stages if name not in _SPEC_BY_NAME]
+    if unknown:
+        raise ValueError(f"unknown stages {unknown}; available: {list(STAGE_ORDER)}")
+    needed = set()
+
+    def visit(name: str) -> None:
+        if name in needed:
+            return
+        needed.add(name)
+        for dep in _SPEC_BY_NAME[name].deps:
+            visit(dep)
+
+    for name in stages:
+        visit(name)
+    return [name for name in STAGE_ORDER if name in needed]
+
+
+# --------------------------------------------------------------------- #
+# Run manifest
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class StageOutcome:
+    """What happened to one stage during a run."""
+
+    name: str
+    fingerprint: str
+    action: str  # "hit" | "built"
+    seconds: float
+    content_hash: Optional[str] = None
+    path: Optional[str] = None
+    reason: str = ""  # why a build happened (miss, forced, stale, ...)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class RunManifest:
+    """The provenance record of one ``StageRunner.run`` invocation."""
+
+    config_key: str
+    config: Dict[str, Any]
+    store_root: Optional[str]
+    stages: List[StageOutcome] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(outcome.seconds for outcome in self.stages)
+
+    @property
+    def cache_hits(self) -> List[str]:
+        return [o.name for o in self.stages if o.action == "hit"]
+
+    @property
+    def built(self) -> List[str]:
+        return [o.name for o in self.stages if o.action == "built"]
+
+    @property
+    def all_hits(self) -> bool:
+        return bool(self.stages) and not self.built
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "manifest_version": 1,
+            "config_key": self.config_key,
+            "config": self.config,
+            "store_root": self.store_root,
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "built": self.built,
+            "stages": [outcome.as_dict() for outcome in self.stages],
+        }
+
+    def save(self, path: str) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True, default=str)
+
+
+# --------------------------------------------------------------------- #
+# Stage results (the in-memory side of a run)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class StageResults:
+    """Deserialized outputs of every stage touched by a run."""
+
+    config: ExperimentConfig
+    dataset: Optional[MultimediaDataset] = None
+    classifier: Optional[TinyResNet] = None
+    classifier_accuracy: Optional[float] = None
+    extractor: Optional[FeatureExtractor] = None
+    raw_features: Optional[np.ndarray] = field(default=None, repr=False)
+    features: Optional[np.ndarray] = field(default=None, repr=False)
+    item_classes: Optional[np.ndarray] = field(default=None, repr=False)
+    vbpr: Optional[VBPR] = None
+    amr: Optional[AMR] = None
+    clean_scores: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    clean_top_n: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    grid_rows: List[Dict[str, Any]] = field(default_factory=list, repr=False)
+    tables_text: Optional[str] = None
+
+    def recommender(self, name: str) -> VBPR:
+        key = name.strip().upper()
+        if key == "VBPR" and self.vbpr is not None:
+            return self.vbpr
+        if key == "AMR" and self.amr is not None:
+            return self.amr
+        raise KeyError(f"recommender '{name}' is not part of these results")
+
+    def catalog_state(self, recommender_name: Optional[str] = None) -> CatalogState:
+        """The precomputed-state bundle a TAaMRPipeline warm-starts from."""
+        if self.item_classes is None or self.raw_features is None:
+            raise RuntimeError("features stage has not run; no catalog state")
+        scores = (
+            self.clean_scores.get(recommender_name.strip().upper())
+            if recommender_name is not None
+            else None
+        )
+        return CatalogState(
+            item_classes=self.item_classes,
+            raw_features=self.raw_features,
+            features=self.features,
+            clean_scores=scores,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Stage implementations: build / pack / unpack
+# --------------------------------------------------------------------- #
+
+
+def _build_dataset(results: StageResults) -> None:
+    config = results.config
+    builder = amazon_men_like if config.dataset == "amazon_men_like" else amazon_women_like
+    results.dataset = builder(
+        scale=config.scale, image_size=config.image_size, seed=config.seed
+    )
+
+
+def _pack_dataset(results: StageResults):
+    return pack_dataset(results.dataset)
+
+
+def _unpack_dataset(results: StageResults, arrays, meta) -> None:
+    results.dataset = unpack_dataset(arrays, meta)
+
+
+def _make_classifier(results: StageResults) -> TinyResNet:
+    config = results.config
+    return TinyResNet(
+        num_classes=results.dataset.num_categories,
+        widths=config.classifier_widths,
+        blocks_per_stage=config.classifier_blocks,
+        seed=config.seed,
+    )
+
+
+def _build_classifier(results: StageResults) -> None:
+    config = results.config
+    classifier = _make_classifier(results)
+    trainer = ClassifierTrainer(
+        classifier,
+        ClassifierConfig(
+            epochs=config.classifier_epochs,
+            batch_size=config.classifier_batch_size,
+            learning_rate=config.classifier_lr,
+            seed=config.seed,
+        ),
+    )
+    report = trainer.fit(results.dataset.images, results.dataset.item_categories)
+    results.classifier = classifier
+    results.classifier_accuracy = float(report.final_train_accuracy)
+
+
+def _pack_classifier(results: StageResults):
+    return results.classifier.state_dict(), {"accuracy": results.classifier_accuracy}
+
+
+def _unpack_classifier(results: StageResults, arrays, meta) -> None:
+    classifier = _make_classifier(results)
+    classifier.load_state_dict(arrays)
+    classifier.eval()
+    results.classifier = classifier
+    accuracy = meta.get("accuracy")
+    results.classifier_accuracy = None if accuracy is None else float(accuracy)
+
+
+def _build_features(results: StageResults) -> None:
+    extractor = FeatureExtractor(results.classifier)
+    classes, raw = results.classifier.predict_with_features(
+        results.dataset.images, batch_size=extractor.batch_size
+    )
+    raw = np.asarray(raw, dtype=np.float64)
+    extractor.fit_from_raw(raw)
+    results.extractor = extractor
+    results.item_classes = np.asarray(classes, dtype=np.int64)
+    results.raw_features = raw
+    results.features = extractor.transform_raw_features(raw)
+
+
+def _pack_features(results: StageResults):
+    arrays = {
+        "raw_features": results.raw_features,
+        "item_classes": results.item_classes,
+    }
+    arrays.update(results.extractor.normalization_state())
+    return arrays, {}
+
+
+def _unpack_features(results: StageResults, arrays, meta) -> None:
+    extractor = FeatureExtractor(results.classifier)
+    extractor.load_normalization_state(
+        {key: arrays[key] for key in ("mean", "scale") if key in arrays}
+    )
+    raw = np.asarray(arrays["raw_features"], dtype=np.float64)
+    results.extractor = extractor
+    results.item_classes = np.asarray(arrays["item_classes"], dtype=np.int64)
+    results.raw_features = raw
+    results.features = extractor.transform_raw_features(raw)
+
+
+def _make_vbpr(results: StageResults) -> VBPR:
+    config = results.config
+    return VBPR(
+        results.dataset.num_users,
+        results.dataset.num_items,
+        results.features,
+        VBPRConfig(epochs=config.recommender_epochs, seed=config.seed),
+    )
+
+
+def _make_amr(results: StageResults) -> AMR:
+    config = results.config
+    return AMR(
+        results.dataset.num_users,
+        results.dataset.num_items,
+        results.features,
+        AMRConfig(
+            epochs=config.recommender_epochs,
+            pretrain_epochs=config.amr_pretrain_epochs,
+            gamma=config.amr_gamma,
+            eta=config.amr_eta,
+            seed=config.seed,
+        ),
+    )
+
+
+def _build_vbpr(results: StageResults) -> None:
+    results.vbpr = _make_vbpr(results).fit(results.dataset.feedback)
+
+
+def _pack_vbpr(results: StageResults):
+    return results.vbpr.state_dict(), {}
+
+
+def _unpack_vbpr(results: StageResults, arrays, meta) -> None:
+    results.vbpr = _make_vbpr(results).load_state_dict(arrays)
+
+
+def _build_amr(results: StageResults) -> None:
+    results.amr = _make_amr(results).fit(results.dataset.feedback)
+
+
+def _pack_amr(results: StageResults):
+    return results.amr.state_dict(), {}
+
+
+def _unpack_amr(results: StageResults, arrays, meta) -> None:
+    results.amr = _make_amr(results).load_state_dict(arrays)
+
+
+def _build_clean_scores(results: StageResults) -> None:
+    cutoff = min(results.config.cutoff, results.dataset.num_items)
+    for name in RECOMMENDER_NAMES:
+        model = results.recommender(name)
+        scores = model.score_all(features=results.features)
+        results.clean_scores[name] = scores
+        results.clean_top_n[name] = model.top_n(
+            cutoff, feedback=results.dataset.feedback, scores=scores
+        )
+
+
+def _pack_clean_scores(results: StageResults):
+    arrays = {}
+    for name in RECOMMENDER_NAMES:
+        arrays[f"{name.lower()}_scores"] = results.clean_scores[name]
+        arrays[f"{name.lower()}_top_n"] = results.clean_top_n[name]
+    return arrays, {"cutoff": results.config.cutoff}
+
+
+def _unpack_clean_scores(results: StageResults, arrays, meta) -> None:
+    for name in RECOMMENDER_NAMES:
+        results.clean_scores[name] = np.asarray(
+            arrays[f"{name.lower()}_scores"], dtype=np.float64
+        )
+        results.clean_top_n[name] = np.asarray(
+            arrays[f"{name.lower()}_top_n"], dtype=np.int64
+        )
+
+
+def _build_attack_grid(results: StageResults) -> None:
+    config = results.config
+    rows: List[Dict[str, Any]] = []
+    scenarios = paper_scenarios(results.dataset.name, results.dataset.registry)
+    for name in RECOMMENDER_NAMES:
+        pipeline = TAaMRPipeline(
+            results.dataset,
+            results.extractor,
+            results.recommender(name),
+            cutoff=config.cutoff,
+            precomputed=results.catalog_state(name),
+        )
+        for scenario in scenarios:
+            for epsilon_255 in config.epsilons_255:
+                epsilon = epsilon_from_255(epsilon_255)
+                attacks = {
+                    "FGSM": FGSM(results.classifier, epsilon),
+                    "PGD": PGD(
+                        results.classifier,
+                        epsilon,
+                        num_steps=config.pgd_steps,
+                        seed=config.seed,
+                    ),
+                }
+                for attack_name, attack in attacks.items():
+                    outcome = pipeline.attack_category(
+                        scenario, attack, attack_name=attack_name
+                    )
+                    rows.append(
+                        {
+                            "recommender": name,
+                            "source": scenario.source,
+                            "target": scenario.target,
+                            "semantically_similar": scenario.semantically_similar,
+                            "attack": attack_name,
+                            "epsilon_255": float(outcome.epsilon_255),
+                            "chr_source_before": float(outcome.chr_source_before),
+                            "chr_target_before": float(outcome.chr_target_before),
+                            "chr_source_after": float(outcome.chr_source_after),
+                            "success_rate": float(outcome.success_rate),
+                            "psnr": float(outcome.visual.psnr),
+                            "ssim": float(outcome.visual.ssim),
+                            "psm": float(outcome.visual.psm),
+                            "num_attacked_items": int(outcome.attacked_item_ids.size),
+                        }
+                    )
+    results.grid_rows = rows
+
+
+def _pack_attack_grid(results: StageResults):
+    return {}, {"rows": results.grid_rows}
+
+
+def _unpack_attack_grid(results: StageResults, arrays, meta) -> None:
+    results.grid_rows = list(meta["rows"])
+
+
+def rows_to_grids(rows: Sequence[Dict[str, Any]]):
+    """Rebuild table-formatter-compatible grid shims from stored rows.
+
+    The returned objects satisfy exactly the protocol the
+    ``format_table2/3/4`` formatters read (``recommender_name``,
+    ``scenarios``, ``cells``), so cached and freshly-built attack grids
+    render byte-identical tables.
+    """
+    from .runner import AttackGrid  # late import; runner pulls in context
+
+    grids = []
+    for name in sorted({row["recommender"] for row in rows}, key=RECOMMENDER_NAMES.index):
+        selected = [row for row in rows if row["recommender"] == name]
+        scenarios: List[AttackScenario] = []
+        outcomes = []
+        for row in selected:
+            scenario = AttackScenario(
+                source=row["source"],
+                target=row["target"],
+                semantically_similar=bool(row["semantically_similar"]),
+            )
+            if scenario not in scenarios:
+                scenarios.append(scenario)
+            outcomes.append(
+                SimpleNamespace(
+                    scenario=scenario,
+                    attack_name=row["attack"],
+                    epsilon_255=float(row["epsilon_255"]),
+                    chr_source_before=float(row["chr_source_before"]),
+                    chr_target_before=float(row["chr_target_before"]),
+                    chr_source_after=float(row["chr_source_after"]),
+                    success_rate=float(row["success_rate"]),
+                    visual=VisualQuality(
+                        psnr=float(row["psnr"]),
+                        ssim=float(row["ssim"]),
+                        psm=float(row["psm"]),
+                    ),
+                )
+            )
+        grids.append(
+            AttackGrid(
+                recommender_name=name,
+                pipeline=None,
+                scenarios=scenarios,
+                outcomes=outcomes,
+            )
+        )
+    return grids
+
+
+def _build_tables(results: StageResults) -> None:
+    from .runner import format_table2, format_table3, format_table4
+
+    grids = rows_to_grids(results.grid_rows)
+    epsilons = results.config.epsilons_255
+    sections = [format_table2(grids, epsilons)]
+    if grids:
+        sections.append(format_table3(grids[:1], epsilons))
+        sections.append(format_table4(grids[0], epsilons))
+    results.tables_text = "\n\n".join(sections)
+
+
+def _pack_tables(results: StageResults):
+    return {}, {"text": results.tables_text}
+
+
+def _unpack_tables(results: StageResults, arrays, meta) -> None:
+    results.tables_text = str(meta["text"])
+
+
+_BUILDERS: Dict[str, Callable[[StageResults], None]] = {
+    "dataset": _build_dataset,
+    "classifier": _build_classifier,
+    "features": _build_features,
+    "vbpr": _build_vbpr,
+    "amr": _build_amr,
+    "clean_scores": _build_clean_scores,
+    "attack_grid": _build_attack_grid,
+    "tables": _build_tables,
+}
+_PACKERS: Dict[str, Callable[[StageResults], Tuple[Dict[str, np.ndarray], Dict[str, Any]]]] = {
+    "dataset": _pack_dataset,
+    "classifier": _pack_classifier,
+    "features": _pack_features,
+    "vbpr": _pack_vbpr,
+    "amr": _pack_amr,
+    "clean_scores": _pack_clean_scores,
+    "attack_grid": _pack_attack_grid,
+    "tables": _pack_tables,
+}
+_UNPACKERS: Dict[str, Callable[[StageResults, Dict[str, np.ndarray], Dict[str, Any]], None]] = {
+    "dataset": _unpack_dataset,
+    "classifier": _unpack_classifier,
+    "features": _unpack_features,
+    "vbpr": _unpack_vbpr,
+    "amr": _unpack_amr,
+    "clean_scores": _unpack_clean_scores,
+    "attack_grid": _unpack_attack_grid,
+    "tables": _unpack_tables,
+}
+
+# Stages whose artifacts benefit from compression (large image/float blobs).
+_COMPRESSED_STAGES = frozenset({"dataset"})
+
+
+# --------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class StagePlan:
+    """One row of an ``--explain`` plan."""
+
+    name: str
+    fingerprint: str
+    cached: bool
+    would: str  # "load" | "build"
+
+
+class StageRunner:
+    """Execute (a sub-DAG of) the experiment stages against a store.
+
+    Parameters
+    ----------
+    config:
+        The experiment configuration; each stage fingerprints only the
+        fields it declares.
+    store:
+        Optional :class:`ArtifactStore`.  Without one every requested
+        stage builds in memory and nothing persists.
+    verbose:
+        Print one line per stage action.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        store: Optional[ArtifactStore] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.verbose = verbose
+        self.fingerprints = stage_fingerprints(config)
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[repro] {message}", flush=True)
+
+    # -- planning ------------------------------------------------------- #
+    def plan(self, stages: Optional[Sequence[str]] = None) -> List[StagePlan]:
+        """What :meth:`run` would do, without executing anything."""
+        order = stage_closure(list(stages) if stages else list(STAGE_ORDER))
+        plans: List[StagePlan] = []
+        for name in order:
+            spec = _SPEC_BY_NAME[name]
+            fingerprint = self.fingerprints[name]
+            cached = bool(self.store and self.store.exists(spec.kind, fingerprint))
+            plans.append(
+                StagePlan(
+                    name=name,
+                    fingerprint=fingerprint,
+                    cached=cached,
+                    would="load" if cached else "build",
+                )
+            )
+        return plans
+
+    # -- execution ------------------------------------------------------ #
+    def run(
+        self,
+        stages: Optional[Sequence[str]] = None,
+        force: Sequence[str] = (),
+    ) -> Tuple[StageResults, RunManifest]:
+        """Run the closure of ``stages`` (default: the whole DAG).
+
+        ``force`` names stages that must rebuild even when a valid
+        artifact exists; their downstream consumers still load as long
+        as the rebuilt content hashes match the recorded inputs (true
+        for deterministic, seeded stages).
+        """
+        order = stage_closure(list(stages) if stages else list(STAGE_ORDER))
+        force_set = set(force or ())
+        unknown = force_set.difference(STAGE_ORDER)
+        if unknown:
+            raise ValueError(f"unknown stages in force={sorted(unknown)}")
+
+        results = StageResults(config=self.config)
+        manifest = RunManifest(
+            config_key=self.config.cache_key(),
+            config=asdict(self.config),
+            store_root=self.store.root if self.store else None,
+        )
+        hashes: Dict[str, str] = {}
+        for name in order:
+            outcome = self._run_stage(name, results, hashes, forced=name in force_set)
+            manifest.stages.append(outcome)
+        return results, manifest
+
+    def _run_stage(
+        self,
+        name: str,
+        results: StageResults,
+        hashes: Dict[str, str],
+        forced: bool,
+    ) -> StageOutcome:
+        spec = _SPEC_BY_NAME[name]
+        fingerprint = self.fingerprints[name]
+        started = time.perf_counter()
+        reason = "forced rebuild" if forced else ""
+
+        if self.store is not None and not forced:
+            try:
+                loaded = self.store.load(
+                    spec.kind, fingerprint, schema_version=spec.schema_version
+                )
+                recorded_inputs = loaded.meta.get("__inputs__", {})
+                stale = {
+                    dep: (recorded_inputs.get(dep), hashes.get(dep))
+                    for dep in spec.deps
+                    if recorded_inputs.get(dep) != hashes.get(dep)
+                }
+                if stale:
+                    raise ArtifactError(
+                        f"inputs changed since the artifact was built: {sorted(stale)}"
+                    )
+                _UNPACKERS[name](results, loaded.arrays, loaded.meta)
+                hashes[name] = loaded.ref.content_hash
+                self._log(f"stage {name}: loaded from store ({fingerprint})")
+                return StageOutcome(
+                    name=name,
+                    fingerprint=fingerprint,
+                    action="hit",
+                    seconds=time.perf_counter() - started,
+                    content_hash=loaded.ref.content_hash,
+                    path=loaded.ref.path,
+                )
+            except ArtifactError as error:
+                reason = (
+                    "no stored artifact"
+                    if isinstance(error, FileNotFoundError)
+                    else f"refused stored artifact: {error}"
+                )
+
+        _BUILDERS[name](results)
+        arrays, meta = _PACKERS[name](results)
+        meta = dict(meta)
+        meta["__inputs__"] = {dep: hashes[dep] for dep in spec.deps}
+        path = None
+        if self.store is not None:
+            ref = self.store.save(
+                spec.kind,
+                fingerprint,
+                arrays,
+                schema_version=spec.schema_version,
+                meta=meta,
+                compress=name in _COMPRESSED_STAGES,
+            )
+            digest, path = ref.content_hash, ref.path
+        else:
+            digest = content_hash(arrays, meta)
+        hashes[name] = digest
+        self._log(f"stage {name}: built ({reason or 'no store'})")
+        return StageOutcome(
+            name=name,
+            fingerprint=fingerprint,
+            action="built",
+            seconds=time.perf_counter() - started,
+            content_hash=digest,
+            path=path,
+            reason=reason or ("no store configured" if self.store is None else "miss"),
+        )
+
+
+def run_stages(
+    config: ExperimentConfig,
+    store: Optional[ArtifactStore] = None,
+    stages: Optional[Sequence[str]] = None,
+    force: Sequence[str] = (),
+    verbose: bool = False,
+) -> Tuple[StageResults, RunManifest]:
+    """One-shot convenience wrapper around :class:`StageRunner`."""
+    return StageRunner(config, store=store, verbose=verbose).run(stages=stages, force=force)
+
+
+def format_plan(plans: Sequence[StagePlan]) -> str:
+    """Human-readable ``--explain`` table."""
+    lines = [f"{'stage':14s} {'fingerprint':18s} {'status':8s} action"]
+    for plan in plans:
+        status = "cached" if plan.cached else "missing"
+        lines.append(f"{plan.name:14s} {plan.fingerprint:18s} {status:8s} {plan.would}")
+    return "\n".join(lines)
+
+
+def format_manifest(manifest: RunManifest) -> str:
+    """Human-readable run summary (the JSON manifest's sibling)."""
+    lines = [
+        f"run manifest — config {manifest.config_key}"
+        + (f" (store: {manifest.store_root})" if manifest.store_root else " (no store)")
+    ]
+    lines.append(f"{'stage':14s} {'action':7s} {'seconds':>9s}  artifact")
+    for outcome in manifest.stages:
+        digest = (outcome.content_hash or "")[:12]
+        suffix = f"  [{outcome.reason}]" if outcome.reason and outcome.action == "built" else ""
+        lines.append(
+            f"{outcome.name:14s} {outcome.action:7s} {outcome.seconds:9.3f}  {digest}{suffix}"
+        )
+    hits, built = len(manifest.cache_hits), len(manifest.built)
+    lines.append(
+        f"total {manifest.total_seconds:.3f}s — {hits} cache hit(s), {built} built"
+    )
+    return "\n".join(lines)

@@ -50,11 +50,48 @@ class FeatureExtractor:
 
     def fit(self, images: np.ndarray) -> "FeatureExtractor":
         """Learn standardisation statistics on the (clean) catalog."""
-        raw = self.extract_raw(images)
+        return self.fit_from_raw(self.extract_raw(images))
+
+    def fit_from_raw(self, raw: np.ndarray) -> "FeatureExtractor":
+        """Learn statistics from already-extracted raw features.
+
+        Lets callers that ran one catalog pass elsewhere (e.g. the
+        ``features`` stage's joint classify+extract pass) fit the
+        extractor without a second forward pass over every image.
+        """
         if self.standardize:
+            raw = np.asarray(raw, dtype=np.float64)
             self._mean = raw.mean(axis=0)
             scale = raw.std(axis=0)
             self._scale = np.where(scale > 1e-8, scale, 1.0)
+        return self
+
+    def normalization_state(self) -> dict:
+        """The fitted standardisation statistics, for artifact storage."""
+        if self.standardize and self._mean is None:
+            raise RuntimeError("extractor is not fitted; no normalization state")
+        if not self.standardize:
+            return {}
+        return {"mean": self._mean.copy(), "scale": self._scale.copy()}
+
+    def load_normalization_state(self, state: dict) -> "FeatureExtractor":
+        """Restore statistics saved by :meth:`normalization_state`."""
+        if not self.standardize:
+            if state:
+                raise ValueError("non-standardizing extractor has no state to load")
+            return self
+        missing = [key for key in ("mean", "scale") if key not in state]
+        if missing:
+            raise ValueError(f"extractor normalization state missing keys {missing}")
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        scale = np.asarray(state["scale"], dtype=np.float64)
+        if mean.shape != (self.feature_dim,) or scale.shape != (self.feature_dim,):
+            raise ValueError(
+                f"extractor state shapes {mean.shape}/{scale.shape} do not match "
+                f"feature_dim {self.feature_dim}"
+            )
+        self._mean = mean.copy()
+        self._scale = scale.copy()
         return self
 
     def extract_raw(self, images: np.ndarray) -> np.ndarray:

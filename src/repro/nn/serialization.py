@@ -1,36 +1,57 @@
-"""Model weight persistence via ``numpy.savez``.
+"""Model weight persistence on the shared artifact protocol.
 
 Benchmarks train a classifier once and reuse it across tables; tests
-exercise save/load round-trips.  The format is a plain ``.npz`` archive
-of the module's ``state_dict`` — no pickle of code objects, so files are
-portable and safe to load.
+exercise save/load round-trips.  The file is a plain ``.npz`` archive of
+the module's ``state_dict`` wrapped in the :mod:`repro.artifacts`
+envelope — schema-version stamp, optional config fingerprint and a
+payload content hash — so loading refuses stale, foreign or corrupted
+weights instead of silently deserializing them.  No pickle of code
+objects, so files are portable and safe to load.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from ..artifacts.payload import read_payload, write_payload
 from .layers import Module
 
-
-def save_state(module: Module, path: str) -> None:
-    """Write ``module.state_dict()`` to ``path`` as an ``.npz`` archive."""
-    state = module.state_dict()
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez(path, **state)
+MODULE_STATE_KIND = "module_state"
+MODULE_STATE_SCHEMA = 1
 
 
-def load_state(module: Module, path: str) -> None:
-    """Load an ``.npz`` archive produced by :func:`save_state` into ``module``."""
-    if not os.path.exists(path):
-        raise FileNotFoundError(f"no saved state at {path}")
-    with np.load(path) as archive:
-        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+def save_state(module: Module, path: str, fingerprint: Optional[str] = None) -> str:
+    """Write ``module.state_dict()`` to ``path``; returns the content hash.
+
+    ``fingerprint`` optionally stamps the config hash that produced the
+    weights; a later :func:`load_state` with a different expectation
+    refuses the file.
+    """
+    return write_payload(
+        path,
+        kind=MODULE_STATE_KIND,
+        schema_version=MODULE_STATE_SCHEMA,
+        arrays=module.state_dict(),
+        fingerprint=fingerprint,
+    )
+
+
+def load_state(module: Module, path: str, fingerprint: Optional[str] = None) -> None:
+    """Load an archive produced by :func:`save_state` into ``module``.
+
+    Refuses files without the artifact envelope, with a different schema
+    version, or (when ``fingerprint`` is given) stamped by a different
+    producer config.
+    """
+    arrays, _, _ = read_payload(
+        path,
+        kind=MODULE_STATE_KIND,
+        schema_version=MODULE_STATE_SCHEMA,
+        fingerprint=fingerprint,
+    )
+    module.load_state_dict(arrays)
 
 
 def state_allclose(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], atol: float = 1e-12) -> bool:

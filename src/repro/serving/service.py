@@ -172,14 +172,18 @@ class RecommenderService:
         pipeline,
         n: int = 10,
         monitor_window: int = 256,
+        warm_start: bool = False,
     ) -> "RecommenderService":
         """Serve the trained system inside a :class:`TAaMRPipeline`.
 
         Reuses the pipeline's clean standardised features and its
         classifier-assigned item classes (Definition 5), so the rolling
         CHR monitor reports in the same units as ``clean_chr_report``.
+        ``warm_start=True`` additionally prefills the top-N cache from
+        the pipeline's clean score matrix, so the first request per user
+        is already a cache hit.
         """
-        return cls(
+        service = cls(
             pipeline.recommender,
             feedback=pipeline.dataset.feedback,
             features=pipeline.clean_features,
@@ -189,6 +193,78 @@ class RecommenderService:
             n=n,
             monitor_window=monitor_window,
         )
+        if warm_start:
+            service.warm_start(pipeline.clean_scores)
+        return service
+
+    @classmethod
+    def from_stage_results(
+        cls,
+        results,
+        recommender_name: str = "VBPR",
+        n: int = 10,
+        monitor_window: int = 256,
+        warm_start: bool = True,
+    ) -> "RecommenderService":
+        """Serve directly from :class:`~repro.experiments.StageResults`.
+
+        The artifact-store path to production: the recommender, catalog
+        features and clean scores all come from stored stage artifacts,
+        and the top-N cache warm-starts from the ``clean_scores`` stage
+        without a single scoring GEMM.
+        """
+        recommender = results.recommender(recommender_name)
+        service = cls(
+            recommender,
+            feedback=results.dataset.feedback,
+            features=results.features,
+            item_classes=results.item_classes,
+            class_names=results.dataset.registry.names,
+            extractor=results.extractor,
+            n=n,
+            monitor_window=monitor_window,
+        )
+        stored = results.clean_scores.get(recommender_name.strip().upper())
+        if warm_start and stored is not None:
+            service.warm_start(stored)
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Warm start
+    # ------------------------------------------------------------------ #
+    def warm_start(self, scores: np.ndarray, user_ids=None) -> int:
+        """Prefill the top-N cache from a precomputed clean score matrix.
+
+        ``scores`` is the full ``(num_users, num_items)`` matrix (e.g.
+        the stored ``clean_scores`` stage artifact); ``user_ids``
+        restricts warm-up to a subset.  Seen-item masking matches the
+        request path exactly, so a warmed entry is indistinguishable
+        from one computed on demand.  Returns the number of users
+        warmed.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (self.recommender.num_users, self.recommender.num_items):
+            raise ValueError(
+                "warm-start scores must have shape (num_users, num_items); "
+                f"got {scores.shape}"
+            )
+        user_ids = (
+            np.arange(self.recommender.num_users, dtype=np.int64)
+            if user_ids is None
+            else self.recommender._validate_user_ids(user_ids)
+        )
+        block = scores[user_ids].copy()
+        if self.feedback is not None:
+            for row, user in enumerate(user_ids):
+                block[row, self.feedback.train_items[int(user)]] = -np.inf
+        k = self.index.n
+        heads = np.argpartition(-block, k - 1, axis=1)[:, :k]
+        for row, user in enumerate(user_ids):
+            head = heads[row]
+            order = np.argsort(-block[row, head], kind="stable")
+            items = head[order]
+            self.index.put(int(user), items, block[row, items])
+        return int(user_ids.size)
 
     # ------------------------------------------------------------------ #
     # Request path

@@ -51,13 +51,49 @@ class TestRoundTrip:
             load_dataset(os.path.join(tmp_path, "nope.npz"))
 
     def test_version_check(self, dataset, tmp_path):
+        import json
+
+        from repro.artifacts import ArtifactSchemaError
+
         path = os.path.join(tmp_path, "ds.npz")
         save_dataset(dataset, path)
         with np.load(path) as archive:
             payload = {key: archive[key] for key in archive.files}
-        payload["format_version"] = np.array(99)
+        header = json.loads(str(payload["__artifact__"]))
+        header["schema_version"] = 99
+        payload["__artifact__"] = np.array(json.dumps(header))
         np.savez_compressed(path, **payload)
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(ArtifactSchemaError, match="schema version 99"):
+            load_dataset(path)
+
+    def test_corrupted_payload_refused(self, dataset, tmp_path):
+        from repro.artifacts import ArtifactIntegrityError
+
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["images"] = payload["images"] + 1.0
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactIntegrityError, match="does not match"):
+            load_dataset(path)
+
+    def test_fingerprint_check(self, dataset, tmp_path):
+        from repro.artifacts import FingerprintMismatchError
+
+        path = os.path.join(tmp_path, "ds.npz")
+        save_dataset(dataset, path, fingerprint="abc123")
+        assert load_dataset(path, fingerprint="abc123").name == dataset.name
+        with pytest.raises(FingerprintMismatchError):
+            load_dataset(path, fingerprint="def456")
+
+    def test_pre_protocol_file_refused(self, dataset, tmp_path):
+        """A bare .npz without the artifact envelope must not load."""
+        from repro.artifacts import ArtifactSchemaError
+
+        path = os.path.join(tmp_path, "legacy.npz")
+        np.savez(path, images=dataset.images)
+        with pytest.raises(ArtifactSchemaError, match="envelope"):
             load_dataset(path)
 
     def test_loaded_dataset_usable_downstream(self, dataset, tmp_path):

@@ -166,3 +166,58 @@ class TestServeBenchCommand:
         assert args.out == "BENCH_serving.json"
         assert args.requests == 600
         assert not args.smoke
+
+
+class TestRunCommand:
+    def test_explain_is_free_and_lists_all_stages(self, capsys, tmp_path):
+        code = main(
+            ["run", "--dataset", "men", *FAST,
+             "--cache-dir", str(tmp_path), "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for stage in ("dataset", "classifier", "features", "vbpr", "amr",
+                      "clean_scores", "attack_grid", "tables"):
+            assert stage in out
+        assert "build" in out
+        assert not any(tmp_path.iterdir())  # --explain must not build anything
+
+    def test_run_writes_manifest_and_caches(self, capsys, tmp_path):
+        import json
+
+        cache = str(tmp_path / "store")
+        manifest_path = tmp_path / "run.json"
+        argv = [
+            "run", "--dataset", "men", *FAST,
+            "--cache-dir", cache, "--stages", "dataset",
+            "--manifest", str(manifest_path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(manifest_path.read_text())
+        assert payload["manifest_version"] == 1
+        assert payload["built"] == ["dataset"]
+
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(manifest_path.read_text())
+        assert payload["built"] == []
+        assert payload["cache_hits"] == ["dataset"]
+        assert "1 cache hit(s), 0 built" in out
+
+    def test_unknown_stage_is_graceful(self, capsys):
+        code = main(["run", "--dataset", "men", *FAST, "--stages", "warp_drive"])
+        assert code == 2
+        assert "unknown stages" in capsys.readouterr().err
+
+    def test_bad_epsilons_is_graceful(self, capsys):
+        code = main(["run", "--dataset", "men", *FAST, "--epsilons", "8,oops"])
+        assert code == 2
+        assert "epsilons" in capsys.readouterr().err
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cutoff == 100
+        assert args.stages is None
+        assert not args.explain
+        assert not args.force

@@ -50,6 +50,10 @@ class TestConfig:
             == men_config(epsilons_255=(2.0,), pgd_steps=3).cache_key()
         )
 
+    def test_cache_key_ignores_cutoff(self):
+        """cutoff only affects evaluation, never training state."""
+        assert men_config().cache_key() == men_config(cutoff=33).cache_key()
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ExperimentConfig(dataset="movielens")

@@ -1,0 +1,275 @@
+"""Stage-DAG tests: selective invalidation, round-trip identity, manifests."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.experiments import (
+    STAGE_ORDER,
+    StageRunner,
+    format_manifest,
+    format_plan,
+    men_config,
+    run_stages,
+    stage_closure,
+    stage_fingerprints,
+)
+
+TINY = dict(
+    scale=0.002,
+    image_size=16,
+    classifier_epochs=8,
+    recommender_epochs=5,
+    amr_pretrain_epochs=2,
+    cutoff=20,
+    epsilons_255=(8.0,),
+)
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("artifact-store"))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return men_config(**TINY)
+
+
+@pytest.fixture(scope="module")
+def first_run(config, store_root):
+    """The cold run that populates the store; everything builds."""
+    return run_stages(config, store=ArtifactStore(store_root))
+
+
+class TestFingerprints:
+    def test_stable_and_complete(self, config):
+        a = stage_fingerprints(config)
+        b = stage_fingerprints(men_config(**TINY))
+        assert a == b
+        assert set(a) == set(STAGE_ORDER)
+
+    def test_epsilon_change_localised(self, config):
+        base = stage_fingerprints(config)
+        changed = stage_fingerprints(men_config(**{**TINY, "epsilons_255": (4.0, 8.0)}))
+        differing = {name for name in STAGE_ORDER if base[name] != changed[name]}
+        assert differing == {"attack_grid", "tables"}
+
+    def test_cutoff_change_localised(self, config):
+        base = stage_fingerprints(config)
+        changed = stage_fingerprints(men_config(**{**TINY, "cutoff": 10}))
+        differing = {name for name in STAGE_ORDER if base[name] != changed[name]}
+        assert differing == {"clean_scores", "attack_grid", "tables"}
+
+    def test_upstream_change_cascades(self, config):
+        base = stage_fingerprints(config)
+        changed = stage_fingerprints(men_config(**{**TINY, "scale": 0.003}))
+        assert all(base[name] != changed[name] for name in STAGE_ORDER)
+
+    def test_unknown_config_field_rejected(self, config):
+        with pytest.raises(ValueError):
+            config.field_fingerprint(("not_a_field",))
+
+
+class TestClosure:
+    def test_full_order(self):
+        assert stage_closure(STAGE_ORDER) == list(STAGE_ORDER)
+
+    def test_transitive_deps(self):
+        assert stage_closure(["vbpr"]) == ["dataset", "classifier", "features", "vbpr"]
+        assert stage_closure(["dataset"]) == ["dataset"]
+
+    def test_unknown_stage(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            stage_closure(["classifier", "nope"])
+
+
+class TestRunCaching:
+    def test_cold_run_builds_everything(self, first_run):
+        _, manifest = first_run
+        assert manifest.built == list(STAGE_ORDER)
+        assert not manifest.all_hits
+
+    def test_warm_run_all_hits(self, config, store_root, first_run):
+        _, manifest = run_stages(config, store=ArtifactStore(store_root))
+        assert manifest.all_hits
+        assert manifest.cache_hits == list(STAGE_ORDER)
+        assert manifest.built == []
+
+    def test_epsilon_change_reruns_only_attack_stages(
+        self, config, store_root, first_run
+    ):
+        changed = men_config(**{**TINY, "epsilons_255": (4.0,)})
+        _, manifest = run_stages(changed, store=ArtifactStore(store_root))
+        assert manifest.built == ["attack_grid", "tables"]
+        assert manifest.cache_hits == [
+            "dataset",
+            "classifier",
+            "features",
+            "vbpr",
+            "amr",
+            "clean_scores",
+        ]
+
+    def test_cutoff_change_never_retrains(self, config, store_root, first_run):
+        changed = men_config(**{**TINY, "cutoff": 10})
+        _, manifest = run_stages(changed, store=ArtifactStore(store_root))
+        assert manifest.built == ["clean_scores", "attack_grid", "tables"]
+        assert "vbpr" in manifest.cache_hits and "amr" in manifest.cache_hits
+
+    def test_force_rebuild_keeps_downstream_cached(
+        self, config, store_root, first_run
+    ):
+        """Deterministic stages rebuild to identical content, so consumers
+        of a forced stage still load from the store."""
+        _, manifest = run_stages(
+            config, store=ArtifactStore(store_root), force=("features",)
+        )
+        assert manifest.built == ["features"]
+        outcome = next(o for o in manifest.stages if o.name == "features")
+        assert outcome.reason == "forced rebuild"
+        assert set(manifest.cache_hits) == set(STAGE_ORDER) - {"features"}
+
+    def test_corrupted_artifact_triggers_rebuild_not_silent_load(
+        self, config, store_root, first_run
+    ):
+        store = ArtifactStore(store_root)
+        path = store.path_for("stage_vbpr", stage_fingerprints(config)["vbpr"])
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["user_factors"] = payload["user_factors"] + 1.0
+        np.savez(path, **payload)
+        _, manifest = run_stages(config, store=store)
+        assert manifest.built == ["vbpr"]
+        outcome = next(o for o in manifest.stages if o.name == "vbpr")
+        assert "refused stored artifact" in outcome.reason
+
+    def test_partial_run_builds_only_closure(self, config, tmp_path):
+        runner = StageRunner(config, store=ArtifactStore(str(tmp_path)))
+        results, manifest = runner.run(stages=("features",))
+        assert [o.name for o in manifest.stages] == [
+            "dataset",
+            "classifier",
+            "features",
+        ]
+        assert results.features is not None and results.vbpr is None
+
+    def test_storeless_run_builds_in_memory(self, config):
+        results, manifest = run_stages(config, stages=("dataset",))
+        assert manifest.built == ["dataset"]
+        assert manifest.store_root is None
+        assert results.dataset is not None
+
+
+class TestRoundTripIdentity:
+    """Store-loaded state must be numerically identical to freshly built."""
+
+    @pytest.fixture(scope="class")
+    def warm_run(self, config, store_root, first_run):
+        return run_stages(config, store=ArtifactStore(store_root))
+
+    def test_features_identical(self, first_run, warm_run):
+        fresh, _ = first_run
+        loaded, _ = warm_run
+        np.testing.assert_allclose(loaded.raw_features, fresh.raw_features, atol=0)
+        np.testing.assert_allclose(loaded.features, fresh.features, atol=0)
+        np.testing.assert_array_equal(loaded.item_classes, fresh.item_classes)
+
+    def test_classifier_logits_identical(self, first_run, warm_run):
+        fresh, _ = first_run
+        loaded, _ = warm_run
+        images = fresh.dataset.images[:4]
+        np.testing.assert_allclose(
+            loaded.classifier.predict_proba(images),
+            fresh.classifier.predict_proba(images),
+            atol=0,
+        )
+
+    def test_recommender_scores_identical(self, first_run, warm_run):
+        fresh, _ = first_run
+        loaded, _ = warm_run
+        for name in ("VBPR", "AMR"):
+            np.testing.assert_allclose(
+                loaded.recommender(name).score_all(),
+                fresh.recommender(name).score_all(),
+                atol=0,
+            )
+            np.testing.assert_allclose(
+                loaded.clean_scores[name], fresh.clean_scores[name], atol=0
+            )
+            np.testing.assert_array_equal(
+                loaded.clean_top_n[name], fresh.clean_top_n[name]
+            )
+
+    def test_tables_byte_identical(self, first_run, warm_run):
+        fresh, _ = first_run
+        loaded, _ = warm_run
+        assert loaded.tables_text == fresh.tables_text
+        assert "Table II" in loaded.tables_text
+
+    def test_catalog_state_usable(self, warm_run):
+        results, _ = warm_run
+        state = results.catalog_state("VBPR")
+        assert state.clean_scores is results.clean_scores["VBPR"]
+        assert state.features is results.features
+
+
+class TestManifest:
+    def test_json_round_trip(self, first_run, tmp_path):
+        _, manifest = first_run
+        path = os.path.join(tmp_path, "nested", "manifest.json")
+        manifest.save(path)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["manifest_version"] == 1
+        assert payload["built"] == list(STAGE_ORDER)
+        assert [entry["name"] for entry in payload["stages"]] == list(STAGE_ORDER)
+        assert all(entry["fingerprint"] for entry in payload["stages"])
+        assert payload["total_seconds"] > 0
+
+    def test_format_manifest(self, first_run):
+        _, manifest = first_run
+        text = format_manifest(manifest)
+        assert "attack_grid" in text
+        assert "8 built" in text
+
+
+class TestPlan:
+    def test_plan_reflects_store_state(self, config, store_root, first_run, tmp_path):
+        warm = StageRunner(config, store=ArtifactStore(store_root)).plan()
+        assert all(p.would == "load" for p in warm)
+        cold = StageRunner(config, store=ArtifactStore(str(tmp_path))).plan()
+        assert all(p.would == "build" for p in cold)
+        text = format_plan(cold)
+        assert "missing" in text and "tables" in text
+
+    def test_plan_without_store(self, config):
+        plans = StageRunner(config).plan(stages=("classifier",))
+        assert [p.name for p in plans] == ["dataset", "classifier"]
+        assert all(not p.cached for p in plans)
+
+
+class TestContextIntegration:
+    def test_build_context_uses_store(self, config, store_root, first_run):
+        from repro.experiments import build_context, clear_context_registry
+
+        clear_context_registry()
+        context = build_context(config, cache_dir=store_root)
+        assert context.manifest is not None
+        assert context.manifest.all_hits
+        assert context.classifier_accuracy is None or context.classifier_accuracy >= 0
+        assert context.catalog_state() is not None
+        clear_context_registry()
+
+    def test_service_warm_start_from_stage_results(self, first_run):
+        from repro.serving import RecommenderService
+
+        results, _ = first_run
+        service = RecommenderService.from_stage_results(results, "VBPR", n=5)
+        hits_before = service.stats["hits"]
+        top = service.recommend(0)
+        assert len(top) == 5
+        assert service.stats["hits"] >= hits_before + 1
