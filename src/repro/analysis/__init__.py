@@ -1,0 +1,23 @@
+"""``repro.analysis`` — repo-specific static analysis.
+
+A small AST lint engine (``python -m repro lint``) enforcing the
+invariants the reproduction's correctness rests on but pytest cannot
+see: the float32 compute policy (RPR001), the central randomness policy
+(RPR002), stage-fingerprint completeness (RPR003), mutable default
+arguments (RPR004) and the artifact serialization protocol (RPR005).
+
+The companion *runtime* half lives in :mod:`repro.nn.sanitizer`.
+"""
+
+from .engine import LintEngine, ParsedModule, Violation, iter_python_files
+from .rules import ALL_RULES, Rule, rule_by_id
+
+__all__ = [
+    "LintEngine",
+    "ParsedModule",
+    "Violation",
+    "iter_python_files",
+    "ALL_RULES",
+    "Rule",
+    "rule_by_id",
+]

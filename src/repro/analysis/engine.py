@@ -1,0 +1,190 @@
+"""Lint engine: file discovery, pragma handling, rule dispatch, output.
+
+The engine is deliberately small — it parses each file once with
+:mod:`ast`, hands the parsed module to every selected rule, and merges
+the violations.  Repo-specific policy lives in the rules
+(:mod:`repro.analysis.rules`, :mod:`repro.analysis.fingerprints`), not
+here.
+
+Pragmas
+-------
+Two comment pragmas, honoured per physical line:
+
+``# lint: disable=RPR001,RPR004``
+    Suppress the listed rules on this line.
+``# lint: allow-float64``
+    Declare a ``np.float64`` usage intentional (RPR001 only); used for
+    the float64 accumulation in the metrics and the dtype-policy
+    machinery itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import textwrap
+from dataclasses import asdict, dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+# The repro package root (…/src/repro): rules scope themselves by a
+# module's path relative to it, and fixture files outside it are
+# in-scope for every rule so the self-tests can exercise each one.
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_ALLOW_FLOAT64_RE = re.compile(r"#\s*lint:\s*allow-float64\b")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, pointing at a file:line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ParsedModule:
+    """A parsed source file plus everything rules need to scope checks."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.source = self.path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(self.path))
+        self.lines = self.source.splitlines()
+        try:
+            rel = self.path.resolve().relative_to(PACKAGE_ROOT)
+            self.package_rel: Optional[PurePosixPath] = PurePosixPath(rel.as_posix())
+        except ValueError:
+            self.package_rel = None  # outside src/repro: fixtures, scripts
+        self.disabled_rules: Dict[int, Set[str]] = {}
+        self.allow_float64_lines: Set[int] = set()
+        for lineno, text in enumerate(self.lines, start=1):
+            if "#" not in text:
+                continue
+            match = _DISABLE_RE.search(text)
+            if match:
+                rules = {part.strip().upper() for part in match.group(1).split(",")}
+                self.disabled_rules[lineno] = {rule for rule in rules if rule}
+            if _ALLOW_FLOAT64_RE.search(text):
+                self.allow_float64_lines.add(lineno)
+        # numpy aliases in this module ("np", usually).
+        self.numpy_aliases: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        self.numpy_aliases.add((alias.asname or alias.name).split(".")[0])
+
+    # -- helpers rules share ----------------------------------------------- #
+    def in_package_dir(self, *prefixes: str) -> bool:
+        """True when the module sits under one of the package-relative
+        directories (or is outside the package entirely — fixtures opt in
+        to every rule)."""
+        if self.package_rel is None:
+            return True
+        return any(self.package_rel.as_posix().startswith(prefix) for prefix in prefixes)
+
+    def is_module(self, *names: str) -> bool:
+        return self.package_rel is not None and self.package_rel.as_posix() in names
+
+    def rule_disabled(self, rule_id: str, lineno: int) -> bool:
+        return rule_id in self.disabled_rules.get(lineno, ())
+
+    def float64_allowed(self, lineno: int) -> bool:
+        return lineno in self.allow_float64_lines
+
+    def is_numpy_attr(self, node: ast.AST, attr: str) -> bool:
+        """Does ``node`` spell ``np.<attr>`` for a known numpy alias?"""
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.numpy_aliases
+        )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under each path (files pass through as-is)."""
+    seen: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class LintEngine:
+    """Run a rule set over files and format the results."""
+
+    def __init__(self, rules: Sequence["Rule"]) -> None:  # noqa: F821
+        self.rules = list(rules)
+
+    def select(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> List["Rule"]:  # noqa: F821
+        chosen = self.rules
+        if select:
+            wanted = {rule_id.strip().upper() for rule_id in select}
+            unknown = wanted - {rule.id for rule in self.rules}
+            if unknown:
+                raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+            chosen = [rule for rule in chosen if rule.id in wanted]
+        if ignore:
+            dropped = {rule_id.strip().upper() for rule_id in ignore}
+            chosen = [rule for rule in chosen if rule.id not in dropped]
+        return chosen
+
+    def run(
+        self,
+        paths: Sequence[Path],
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> List[Violation]:
+        rules = self.select(select=select, ignore=ignore)
+        violations: List[Violation] = []
+        for path in iter_python_files(paths):
+            module = ParsedModule(path)
+            for rule in rules:
+                for violation in rule.check(module):
+                    if not module.rule_disabled(rule.id, violation.line):
+                        violations.append(violation)
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return violations
+
+    # -- output ------------------------------------------------------------ #
+    @staticmethod
+    def format_text(violations: Sequence[Violation]) -> str:
+        lines = [violation.render() for violation in violations]
+        lines.append(
+            f"{len(violations)} violation(s)" if violations else "clean: no violations"
+        )
+        return "\n".join(lines)
+
+    @staticmethod
+    def format_json(violations: Sequence[Violation]) -> str:
+        return json.dumps([asdict(violation) for violation in violations], indent=2)
+
+    def explain(self, rule_ids: Optional[Sequence[str]] = None) -> str:
+        rules = self.select(select=rule_ids) if rule_ids else self.rules
+        blocks = []
+        for rule in rules:
+            rationale = textwrap.dedent(rule.rationale).strip()
+            blocks.append(f"{rule.id}: {rule.title}\n{rationale}")
+        return "\n\n".join(blocks)

@@ -1,0 +1,243 @@
+"""Lint rules RPR001/002/004/005 (RPR003 lives in ``fingerprints.py``).
+
+Each rule is a tiny AST pass over one :class:`~repro.analysis.engine.
+ParsedModule`.  Rules scope themselves: a check that only makes sense
+under the float32 compute policy runs on ``repro/nn`` but not on the
+float64 recommender stack.  Files *outside* the package (the
+``tests/analysis/fixtures`` self-test files) are in scope for every
+rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from .engine import ParsedModule, Violation
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title``/``rationale`` and
+    implement :meth:`check`."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: ParsedModule, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class DtypePromotionRule(Rule):
+    """RPR001 — dtype-promotion hazards against the float32 policy."""
+
+    id = "RPR001"
+    title = "dtype-promotion hazard (float32 compute policy)"
+    rationale = """
+    The engine computes in float32 (PR 1): attack gradients feed a sign()
+    or a feature distance, so float64 buys nothing while halving BLAS
+    throughput.  A stray float64 array silently promotes everything it
+    touches back to float64 — the slowdown shows up in benchmarks, never
+    in tests.  Flags, inside the float32 domain (repro/nn, metrics/,
+    defenses/, features/): `np.float64` mentions not marked
+    `# lint: allow-float64`; and inside repro/nn: `np.zeros/ones/empty/
+    full` without `dtype=` (numpy defaults them to float64) and
+    `np.array`/`np.asarray` of a Python literal without `dtype=`
+    (literals convert to float64).  Intentional float64 — the metrics'
+    accumulators, the dtype-policy machinery itself — carries the
+    `# lint: allow-float64` pragma so every exception is auditable.
+    """
+
+    FLOAT64_DIRS = ("nn/", "metrics/", "defenses/", "features/")
+    ALLOC_DIRS = ("nn/",)
+    BARE_ALLOCS = ("zeros", "ones", "empty", "full")
+    LITERAL_CONVERTERS = ("array", "asarray")
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        check_float64 = module.in_package_dir(*self.FLOAT64_DIRS)
+        check_allocs = module.in_package_dir(*self.ALLOC_DIRS)
+        if not (check_float64 or check_allocs):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                check_float64
+                and module.is_numpy_attr(node, "float64")
+                and not module.float64_allowed(node.lineno)
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "np.float64 in float32-policy code; use get_default_dtype() "
+                    "or mark intentional with `# lint: allow-float64`",
+                )
+            if check_allocs and isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: ParsedModule, node: ast.Call) -> Iterator[Violation]:
+        has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+        if has_dtype:
+            return
+        for name in self.BARE_ALLOCS:
+            if module.is_numpy_attr(node.func, name):
+                yield self.violation(
+                    module,
+                    node,
+                    f"np.{name}(...) without dtype= allocates float64; "
+                    "pass dtype=get_default_dtype() (or the operand's dtype)",
+                )
+                return
+        for name in self.LITERAL_CONVERTERS:
+            if module.is_numpy_attr(node.func, name) and node.args:
+                first = node.args[0]
+                if isinstance(first, (ast.List, ast.Tuple, ast.Constant)):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"np.{name}(<literal>) without dtype= converts to float64; "
+                        "pass an explicit dtype",
+                    )
+                    return
+
+
+class UnseededRandomnessRule(Rule):
+    """RPR002 — np.random.* calls outside the central rng module."""
+
+    id = "RPR002"
+    title = "np.random call outside repro.rng"
+    rationale = """
+    Bitwise reproducibility requires every random stream to be traceable
+    to a config seed.  All Generator construction is therefore funnelled
+    through repro/rng.py (`rng_from_seed`, `derive_rng`, and the
+    explicit `unseeded_rng` escape hatch); a direct `np.random.*` call
+    anywhere else — `default_rng()` with no seed, legacy `np.random.seed`
+    global state, module-level draws — reintroduces hidden entropy that
+    makes attack grids and trained artifacts non-reproducible.  Only
+    calls are flagged; `np.random.Generator` in annotations and
+    isinstance checks is fine.
+    """
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        if module.is_module("rng.py"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # np.random.<anything>(...) — func is Attribute on np.random.
+            if isinstance(func, ast.Attribute) and module.is_numpy_attr(
+                func.value, "random"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"direct np.random.{func.attr}(...) call; construct Generators "
+                    "via repro.rng (rng_from_seed / derive_rng / unseeded_rng)",
+                )
+            # np.random(...) is not a thing, but np.random used as a call
+            # target via getattr tricks is out of static reach — fine.
+
+
+class MutableDefaultRule(Rule):
+    """RPR004 — mutable default arguments."""
+
+    id = "RPR004"
+    title = "mutable default argument"
+    rationale = """
+    A mutable default (`def f(x, cache={})`) is evaluated once at import
+    and shared across calls — state leaks between experiment runs, the
+    exact class of irreproducibility this repo exists to avoid.  Use
+    None and construct inside the function.
+    """
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        module,
+                        default,
+                        f"mutable default argument in '{name}'; default to None "
+                        "and construct inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+
+class SerializationProtocolRule(Rule):
+    """RPR005 — raw np.savez/np.load outside repro.artifacts."""
+
+    id = "RPR005"
+    title = "raw numpy serialization outside repro.artifacts"
+    rationale = """
+    PR 3 moved all persistence onto the content-addressed artifact
+    protocol (repro/artifacts): envelopes carry a schema version, a
+    config fingerprint and a payload hash, so stale or tampered state is
+    refused instead of silently loaded.  A direct `np.savez`/`np.load`
+    anywhere else bypasses every one of those guarantees and recreates
+    the unversioned-checkpoint problem.  Only repro/artifacts may touch
+    the raw numpy format.
+    """
+
+    _BANNED = ("savez", "savez_compressed", "load", "save")
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        if module.package_rel is not None and module.in_package_dir("artifacts/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for name in self._BANNED:
+                if module.is_numpy_attr(node.func, name):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"np.{name}(...) outside repro.artifacts; persist through "
+                        "the artifact store so state is versioned and fingerprinted",
+                    )
+
+
+def _build_registry() -> List[Rule]:
+    from .fingerprints import StageFingerprintRule
+
+    rules: List[Rule] = [
+        DtypePromotionRule(),
+        UnseededRandomnessRule(),
+        StageFingerprintRule(),
+        MutableDefaultRule(),
+        SerializationProtocolRule(),
+    ]
+    return sorted(rules, key=lambda rule: rule.id)
+
+
+ALL_RULES: List[Rule] = _build_registry()
+
+
+def rule_by_id(rule_id: str) -> Optional[Rule]:
+    for rule in ALL_RULES:
+        if rule.id == rule_id.upper():
+            return rule
+    return None

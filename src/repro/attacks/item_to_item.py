@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn import Tensor, TinyResNet, frozen_parameters
+from ..rng import rng_from_seed
 from .base import AttackResult, GradientAttack
 from .projections import clip_pixels, project_linf, random_uniform_start
 
@@ -45,7 +46,7 @@ class ItemToItemAttack(GradientAttack):
         self.num_steps = num_steps
         self.step_size = step_size if step_size is not None else epsilon / 4.0
         self.random_start = random_start
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_from_seed(seed)
         self._target_features: Optional[np.ndarray] = None
 
     # The generic label-driven path is not used by this attack.

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..nn.classifier import ImageClassifier
 from ..nn.tensor import get_default_dtype
+from ..rng import rng_from_seed
 from .base import AttackResult
 from .projections import clip_pixels, project_linf
 
@@ -69,7 +70,7 @@ class NESAttack:
         self.sigma = sigma
         self.step_size = step_size if step_size is not None else epsilon / 4.0
         self.batch_size = batch_size
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_from_seed(seed)
         self.queries_used = 0
 
     # ------------------------------------------------------------------ #

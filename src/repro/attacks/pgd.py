@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn import TinyResNet
+from ..rng import rng_from_seed
 from .base import GradientAttack
 from .projections import clip_pixels, project_linf, random_uniform_start
 
@@ -54,7 +55,7 @@ class PGD(GradientAttack):
         self.num_steps = num_steps
         self.step_size = step_size if step_size is not None else epsilon / 4.0
         self.random_start = random_start
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_from_seed(seed)
 
     def _perturb_batch(
         self, images: np.ndarray, labels: np.ndarray, targeted: bool

@@ -11,6 +11,8 @@ Four subcommands cover the daily workflows::
     python -m repro run     --dataset men --cache-dir .cache --manifest run.json
     python -m repro bench   --scale 0.003 --out BENCH_perf_engine.json
     python -m repro serve-bench --requests 600 --out BENCH_serving.json
+    python -m repro lint    --explain
+    python -m repro lint    --select RPR003 --format json
 
 ``stats`` prints Table I-style dataset statistics; ``train`` builds (and
 optionally caches) the full experiment context; ``attack`` runs a single
@@ -21,7 +23,10 @@ engine's float64-baseline vs float32-optimized configurations;
 post-attack-invalidation phases); ``run`` executes the experiment stage
 DAG against a content-addressed artifact store — only stages whose
 inputs changed re-run — and emits a JSON run manifest (per-stage
-fingerprints, artifact hashes, cache hit/built actions, timings).
+fingerprints, artifact hashes, cache hit/built actions, timings);
+``lint`` runs the repo-specific static analysis (:mod:`repro.analysis`).
+Every workflow subcommand also accepts ``--sanitize`` to run under the
+autograd sanitizer (:mod:`repro.nn.sanitizer`).
 """
 
 from __future__ import annotations
@@ -63,6 +68,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="directory for cached trained weights (speeds up re-runs)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress logs")
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the autograd sanitizer (NaN/Inf guards, saved-tensor "
+        "integrity, dtype-policy and leaked-graph checks); values are "
+        "bitwise identical, execution is slower",
+    )
 
 
 def _make_config(args: argparse.Namespace):
@@ -267,6 +278,33 @@ def cmd_tables(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import ALL_RULES, LintEngine
+
+    engine = LintEngine(ALL_RULES)
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    if args.explain:
+        print(engine.explain(select))
+        return 0
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent]  # the repro package itself
+    try:
+        violations = engine.run(paths, select=select, ignore=ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(engine.format_json(violations))
+    else:
+        print(engine.format_text(violations))
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -372,12 +410,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--quiet", action="store_true", help="suppress progress logs")
     serve.set_defaults(handler=cmd_serve_bench)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo-specific static analysis (rules RPR001-RPR005)",
+        description="AST lint for reproduction invariants: dtype-promotion "
+        "hazards (RPR001), randomness outside repro.rng (RPR002), stage "
+        "fingerprint/config-read mismatches (RPR003), mutable default "
+        "arguments (RPR004), raw numpy serialization outside repro.artifacts "
+        "(RPR005). Exits non-zero when violations are found.",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument("--select", default=None, help="comma-separated rule IDs to run")
+    lint.add_argument("--ignore", default=None, help="comma-separated rule IDs to skip")
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is machine-readable)",
+    )
+    lint.add_argument(
+        "--explain", action="store_true",
+        help="print the rationale for each (selected) rule and exit",
+    )
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sanitize", False):
+        from .nn import sanitize
+
+        with sanitize():
+            return args.handler(args)
     return args.handler(args)
 
 

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..rng import rng_from_seed
 from .interactions import ImplicitFeedback
 
 
@@ -140,7 +141,7 @@ def build_feedback_from_reviews(
     item_ids = sorted({item for user in kept_users for item in by_user[user]})
     item_index = {asin: idx for idx, asin in enumerate(item_ids)}
 
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     train_items: List[np.ndarray] = []
     test_items = np.full(len(kept_users), -1, dtype=np.int64)
     for user_idx, user in enumerate(kept_users):

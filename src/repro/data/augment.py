@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+from ..rng import rng_from_seed
 
 Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
 
@@ -86,7 +87,7 @@ class AugmentationPipeline:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = rng_from_seed(self.seed)
 
     def __call__(self, images: np.ndarray) -> np.ndarray:
         images = np.asarray(images, dtype=np.float64)
@@ -98,7 +99,7 @@ class AugmentationPipeline:
 
     def reset(self) -> None:
         """Restore the generator to its initial state (reproducible epochs)."""
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = rng_from_seed(self.seed)
 
 
 def default_augmentation(seed: int = 0) -> AugmentationPipeline:

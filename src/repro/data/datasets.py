@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..rng import rng_from_seed
 from .categories import CategoryRegistry, men_registry, women_registry
 from .images import ProductImageGenerator
 from .interactions import ImplicitFeedback, InteractionConfig, generate_feedback
@@ -139,7 +140,7 @@ def build_dataset(
     """Assemble a full synthetic dataset from scratch."""
     if num_users <= 0 or num_items <= 0:
         raise ValueError("num_users and num_items must be positive")
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     item_categories = _allocate_items(num_items, registry, rng)
     generator = ProductImageGenerator(
         registry, image_size=image_size, seed=seed, noise_level=noise_level

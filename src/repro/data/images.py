@@ -22,6 +22,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from ..rng import rng_from_seed
 from .categories import CategoryRegistry
 
 MaskFn = Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]
@@ -219,7 +220,7 @@ def category_texture(category_name: str, image_size: int) -> np.ndarray:
     """
     digest = np.frombuffer(category_name.encode("utf-8"), dtype=np.uint8)
     seed = int(digest.astype(np.uint64).sum() * 2_654_435_761 % (2 ** 31))
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     return rng.choice([-1.0, 1.0], size=(3, image_size, image_size))
 
 
@@ -274,7 +275,7 @@ class ProductImageGenerator:
     # ------------------------------------------------------------------ #
     def render(self, category_name: str, item_seed: int) -> np.ndarray:
         """Render one CHW float RGB image in [0, 1] for the given category."""
-        rng = np.random.default_rng(self.seed * 1_000_003 + item_seed)
+        rng = rng_from_seed(self.seed * 1_000_003 + item_seed)
         size = self.image_size
 
         # Per-item geometric jitter: shift and scale the coordinate grid.

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
 import numpy as np
+from ..rng import rng_from_seed
 
 
 @dataclass
@@ -123,7 +124,7 @@ def generate_feedback(
         Number of users to simulate (all pass the ≥5 filter by design).
     """
     config = config or InteractionConfig()
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     item_categories = np.asarray(item_categories, dtype=np.int64)
     num_items = item_categories.shape[0]
     num_categories = len(category_popularity)

@@ -22,7 +22,8 @@ import numpy as np
 
 from ..attacks.pgd import PGD
 from ..features.trainer import recalibrate_batchnorm
-from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy
+from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy, get_default_dtype
+from ..rng import rng_from_seed
 
 
 @dataclass
@@ -61,12 +62,12 @@ class AdversarialTrainer:
 
     def fit(self, images: np.ndarray, labels: np.ndarray) -> dict:
         """Adversarially train; returns a history dict."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         if images.ndim != 4 or labels.shape[0] != images.shape[0]:
             raise ValueError("images must be NCHW with one label per image")
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = rng_from_seed(config.seed)
         optimizer = SGD(
             self.model.parameters(),
             lr=config.learning_rate,

@@ -18,9 +18,10 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..features.trainer import recalibrate_batchnorm
-from ..nn import SGD, Tensor, TinyResNet, soft_cross_entropy
+from ..nn import SGD, Tensor, TinyResNet, get_default_dtype, soft_cross_entropy
 from ..nn import functional as F
 from ..nn.tensor import no_grad
+from ..rng import rng_from_seed
 
 
 @dataclass
@@ -54,7 +55,8 @@ def soft_labels(
         chunks = []
         with no_grad():
             for start in range(0, images.shape[0], batch_size):
-                logits = teacher(Tensor(np.asarray(images[start : start + batch_size], dtype=np.float64)))
+                batch = np.asarray(images[start : start + batch_size], dtype=get_default_dtype())
+                logits = teacher(Tensor(batch))
                 chunks.append(F.softmax(logits * (1.0 / temperature), axis=1).data)
     finally:
         if was_training:
@@ -70,7 +72,7 @@ def distill(
 ) -> Tuple[TinyResNet, list]:
     """Train a distilled student from ``teacher``; returns (student, losses)."""
     config = config or DistillationConfig()
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=get_default_dtype())
     if images.ndim != 4:
         raise ValueError("images must be NCHW")
 
@@ -88,7 +90,7 @@ def distill(
         momentum=config.momentum,
         weight_decay=config.weight_decay,
     )
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     losses = []
     num_samples = images.shape[0]
     student.train()

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn import get_default_dtype
 from ..nn.classifier import ImageClassifier
 
 
@@ -27,7 +28,7 @@ def reduce_bit_depth(images: np.ndarray, bits: int = 4) -> np.ndarray:
     """Quantise [0, 1] pixels to ``2**bits`` levels."""
     if not 1 <= bits <= 8:
         raise ValueError("bits must be in [1, 8]")
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=get_default_dtype())
     levels = 2 ** bits - 1
     return np.round(np.clip(images, 0.0, 1.0) * levels) / levels
 
@@ -36,14 +37,14 @@ def median_smooth(images: np.ndarray, kernel: int = 3) -> np.ndarray:
     """Per-channel k×k median filter over NCHW batches (reflect padding)."""
     if kernel < 2 or kernel % 2 == 0:
         raise ValueError("kernel must be an odd integer >= 3")
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=get_default_dtype())
     if images.ndim != 4:
         raise ValueError("expected NCHW batches")
     pad = kernel // 2
     padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="reflect")
     n, c, h, w = images.shape
     # Gather all kxk shifted views and take the median across them.
-    windows = np.empty((kernel * kernel, n, c, h, w))
+    windows = np.empty((kernel * kernel, n, c, h, w), dtype=images.dtype)
     idx = 0
     for dy in range(kernel):
         for dx in range(kernel):
@@ -66,7 +67,7 @@ class FeatureSqueezer:
             median_smooth(np.zeros((1, 1, 4, 4)), median_kernel)  # validate
 
     def __call__(self, images: np.ndarray) -> np.ndarray:
-        squeezed = np.asarray(images, dtype=np.float64)
+        squeezed = np.asarray(images, dtype=get_default_dtype())
         if self.median_kernel is not None:
             squeezed = median_smooth(squeezed, self.median_kernel)
         if self.bits is not None:
@@ -83,6 +84,6 @@ class FeatureSqueezer:
         Larger gaps indicate adversarial inputs (Xu et al. threshold on
         this score); clean images survive squeezing almost unchanged.
         """
-        raw = model.predict_proba(np.asarray(images, dtype=np.float64))
+        raw = model.predict_proba(np.asarray(images, dtype=get_default_dtype()))
         squeezed = model.predict_proba(self(images))
         return np.abs(raw - squeezed).sum(axis=1)

@@ -60,7 +60,7 @@ class FeatureExtractor:
         extractor without a second forward pass over every image.
         """
         if self.standardize:
-            raw = np.asarray(raw, dtype=np.float64)
+            raw = np.asarray(raw, dtype=np.float64)  # lint: allow-float64
             self._mean = raw.mean(axis=0)
             scale = raw.std(axis=0)
             self._scale = np.where(scale > 1e-8, scale, 1.0)
@@ -83,8 +83,8 @@ class FeatureExtractor:
         missing = [key for key in ("mean", "scale") if key not in state]
         if missing:
             raise ValueError(f"extractor normalization state missing keys {missing}")
-        mean = np.asarray(state["mean"], dtype=np.float64)
-        scale = np.asarray(state["scale"], dtype=np.float64)
+        mean = np.asarray(state["mean"], dtype=np.float64)  # lint: allow-float64
+        scale = np.asarray(state["scale"], dtype=np.float64)  # lint: allow-float64
         if mean.shape != (self.feature_dim,) or scale.shape != (self.feature_dim,):
             raise ValueError(
                 f"extractor state shapes {mean.shape}/{scale.shape} do not match "
@@ -102,7 +102,7 @@ class FeatureExtractor:
         here and all downstream statistics stay exact.
         """
         raw = self.model.extract_features(images, batch_size=self.batch_size)
-        return np.asarray(raw, dtype=np.float64)
+        return np.asarray(raw, dtype=np.float64)  # lint: allow-float64
 
     def transform(self, images: np.ndarray) -> np.ndarray:
         """Extract features for NCHW images; applies fitted standardisation."""
@@ -113,7 +113,7 @@ class FeatureExtractor:
 
     def transform_raw_features(self, raw: np.ndarray) -> np.ndarray:
         """Standardise features already extracted elsewhere (e.g. PSM reuse)."""
-        return self._apply_standardisation(np.asarray(raw, dtype=np.float64))
+        return self._apply_standardisation(np.asarray(raw, dtype=np.float64))  # lint: allow-float64
 
     def _apply_standardisation(self, raw: np.ndarray) -> np.ndarray:
         if not self.standardize:

@@ -17,6 +17,7 @@ import numpy as np
 from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy, get_default_dtype, no_grad
 from ..nn.layers import BatchNorm2d, Module
 from ..nn.optim import CosineAnnealingLR
+from ..rng import rng_from_seed
 
 
 def recalibrate_batchnorm(model: Module, images: np.ndarray, batch_size: int = 256) -> None:
@@ -31,8 +32,8 @@ def recalibrate_batchnorm(model: Module, images: np.ndarray, batch_size: int = 2
     bn_layers = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
     if not bn_layers:
         return
-    sums = [np.zeros(bn.num_features, dtype=np.float64) for bn in bn_layers]
-    square_sums = [np.zeros(bn.num_features, dtype=np.float64) for bn in bn_layers]
+    sums = [np.zeros(bn.num_features, dtype=np.float64) for bn in bn_layers]  # lint: allow-float64
+    square_sums = [np.zeros(bn.num_features, dtype=np.float64) for bn in bn_layers]  # lint: allow-float64
     batch_count = 0
     original_momentum = [bn.momentum for bn in bn_layers]
     model.train()
@@ -119,7 +120,7 @@ class ClassifierTrainer:
             raise ValueError("label exceeds model num_classes")
 
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = rng_from_seed(config.seed)
         optimizer = SGD(
             self.model.parameters(),
             lr=config.learning_rate,

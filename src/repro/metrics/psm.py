@@ -23,8 +23,8 @@ from ..nn import TinyResNet
 
 def psm_from_features(features_x: np.ndarray, features_y: np.ndarray) -> np.ndarray:
     """PSM per pair given already-extracted layer-e features (N, D)."""
-    features_x = np.asarray(features_x, dtype=np.float64)
-    features_y = np.asarray(features_y, dtype=np.float64)
+    features_x = np.asarray(features_x, dtype=np.float64)  # lint: allow-float64
+    features_y = np.asarray(features_y, dtype=np.float64)  # lint: allow-float64
     if features_x.shape != features_y.shape:
         raise ValueError("feature matrices must have identical shapes")
     if features_x.ndim != 2:
@@ -42,8 +42,8 @@ class PerceptualSimilarity:
 
     def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Per-image PSM between two NCHW batches."""
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)  # lint: allow-float64
+        y = np.asarray(y, dtype=np.float64)  # lint: allow-float64
         if x.shape != y.shape:
             raise ValueError("batches must have identical shapes")
         if x.ndim != 4:

@@ -13,8 +13,8 @@ import numpy as np
 
 def mse(x: np.ndarray, y: np.ndarray) -> float:
     """Mean squared error between two images (any matching shape)."""
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)  # lint: allow-float64
+    y = np.asarray(y, dtype=np.float64)  # lint: allow-float64
     if x.shape != y.shape:
         raise ValueError("images must have identical shapes")
     return float(np.mean((x - y) ** 2))
@@ -32,8 +32,8 @@ def psnr(x: np.ndarray, y: np.ndarray, peak: float = 1.0) -> float:
 
 def batch_psnr(x: np.ndarray, y: np.ndarray, peak: float = 1.0) -> np.ndarray:
     """Per-image PSNR over NCHW batches."""
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)  # lint: allow-float64
+    y = np.asarray(y, dtype=np.float64)  # lint: allow-float64
     if x.shape != y.shape:
         raise ValueError("batches must have identical shapes")
     if x.ndim != 4:

@@ -28,8 +28,8 @@ def ssim(
     dynamic_range: float = 1.0,
 ) -> float:
     """Mean SSIM between two CHW (or HW) images in [0, dynamic_range]."""
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)  # lint: allow-float64
+    y = np.asarray(y, dtype=np.float64)  # lint: allow-float64
     if x.shape != y.shape:
         raise ValueError("images must have identical shapes")
     if x.ndim == 2:
@@ -65,8 +65,8 @@ def batch_ssim(
     x: np.ndarray, y: np.ndarray, window: int = 7, dynamic_range: float = 1.0
 ) -> np.ndarray:
     """Per-image SSIM over NCHW batches."""
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)  # lint: allow-float64
+    y = np.asarray(y, dtype=np.float64)  # lint: allow-float64
     if x.shape != y.shape:
         raise ValueError("batches must have identical shapes")
     if x.ndim != 4:

@@ -30,6 +30,15 @@ from .layers import (
 )
 from .functional import Im2colWorkspace, set_workspace_reuse, workspace_reuse
 from .losses import accuracy, cross_entropy, mse, soft_cross_entropy
+from .sanitizer import (
+    DtypePolicyError,
+    GraphLeakError,
+    GraphSanitizer,
+    NonFiniteError,
+    SanitizerError,
+    SavedTensorError,
+    sanitize,
+)
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .classifier import ImageClassifier
 from .resnet import ResidualBlock, TinyResNet
@@ -94,4 +103,11 @@ __all__ = [
     "ResidualBlock",
     "save_state",
     "load_state",
+    "sanitize",
+    "GraphSanitizer",
+    "SanitizerError",
+    "NonFiniteError",
+    "SavedTensorError",
+    "DtypePolicyError",
+    "GraphLeakError",
 ]

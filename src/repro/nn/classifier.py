@@ -71,7 +71,11 @@ class ImageClassifier(Module):
         finally:
             if was_training:
                 self.train()
-        return np.concatenate(chunks, axis=0) if chunks else np.zeros((0, self.num_classes))
+        return (
+            np.concatenate(chunks, axis=0)
+            if chunks
+            else np.zeros((0, self.num_classes), dtype=dtype)
+        )
 
     def extract_features(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Layer-``e`` features for NCHW images (eval mode, no grad)."""
@@ -87,7 +91,11 @@ class ImageClassifier(Module):
         finally:
             if was_training:
                 self.train()
-        return np.concatenate(chunks, axis=0) if chunks else np.zeros((0, self.feature_dim))
+        return (
+            np.concatenate(chunks, axis=0)
+            if chunks
+            else np.zeros((0, self.feature_dim), dtype=dtype)
+        )
 
     def predict_with_features(
         self, images: np.ndarray, batch_size: int = 64
@@ -116,7 +124,7 @@ class ImageClassifier(Module):
         if not class_chunks:
             return (
                 np.zeros(0, dtype=np.int64),
-                np.zeros((0, self.feature_dim)),
+                np.zeros((0, self.feature_dim), dtype=dtype),
             )
         return (
             np.concatenate(class_chunks, axis=0),

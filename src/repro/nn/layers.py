@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..rng import unseeded_rng
 from . import functional as F
 from .tensor import Tensor, get_default_dtype, is_grad_enabled
 
@@ -194,11 +195,11 @@ class Linear(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else unseeded_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(kaiming_normal((out_features, in_features), in_features, rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(np.zeros(out_features, dtype=get_default_dtype())) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T
@@ -221,7 +222,7 @@ class Conv2d(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else unseeded_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -231,7 +232,7 @@ class Conv2d(Module):
         self.weight = Parameter(
             kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
         )
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(np.zeros(out_channels, dtype=get_default_dtype())) if bias else None
         self._col_workspace = F.Im2colWorkspace()
 
     def forward(self, x: Tensor) -> Tensor:
@@ -260,8 +261,8 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
+        self.weight = Parameter(np.ones(num_features, dtype=get_default_dtype()))
+        self.bias = Parameter(np.zeros(num_features, dtype=get_default_dtype()))
         self.running_mean = np.zeros(num_features, dtype=get_default_dtype())
         self.running_var = np.ones(num_features, dtype=get_default_dtype())
 
@@ -400,7 +401,7 @@ def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> Tuple[Tensor, Tensor]:
     (running statistics are constants, as in eval-mode BN).
     """
     weight_dtype = conv.weight.dtype
-    inv_std = 1.0 / np.sqrt(np.asarray(bn.running_var, dtype=np.float64) + bn.eps)
+    inv_std = 1.0 / np.sqrt(np.asarray(bn.running_var, dtype=np.float64) + bn.eps)  # lint: allow-float64
     scale = bn.weight * Tensor(inv_std.astype(weight_dtype, copy=False))
     weight = conv.weight * scale.reshape(-1, 1, 1, 1)
     shift = bn.bias - scale * Tensor(
@@ -503,13 +504,15 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else unseeded_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
         mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
-        return x * Tensor(mask)
+        # The draw above is float64; match the input so dropout never
+        # silently promotes a float32 forward pass.
+        return x * Tensor(mask.astype(x.data.dtype, copy=False))
 
 
 class Sequential(Module):

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..rng import rng_from_seed
 from .classifier import ImageClassifier
 from .layers import BatchNorm2d, Conv2d, Linear, Module, conv_bn_forward
 from .tensor import Tensor
@@ -92,7 +93,7 @@ class TinyResNet(ImageClassifier):
             raise ValueError("widths and blocks_per_stage must have equal length")
         if num_classes < 2:
             raise ValueError("num_classes must be >= 2")
-        rng = np.random.default_rng(seed)
+        rng = rng_from_seed(seed)
         self.num_classes = num_classes
         self.feature_dim = int(widths[-1])
 

@@ -1,0 +1,270 @@
+"""Runtime sanitizer for the autograd engine.
+
+The engine trades safety rails for speed: ops trust their inputs, saved
+arrays are not copied, and backward closures assume the forward values
+they captured are still the values they saw.  TAaMR's attack math (the
+eq. 5 input gradient) is only as correct as those assumptions, and a
+violation — an in-place mutation of a saved buffer, a NaN sneaking
+through ``log``, a stray float64 operand doubling the bandwidth of every
+downstream GEMM — corrupts results *silently*.
+
+:func:`sanitize` turns the assumptions into checked invariants:
+
+* **Non-finite guards** — every op output is checked at creation, and
+  every upstream gradient is checked before it is fed to an op's
+  backward.  Errors carry op-level provenance (op name, tensor shape,
+  bad-value count) so a NaN is localised to the op that produced it,
+  not the loss where it eventually surfaced.
+* **Saved-tensor integrity** — at op creation the sanitizer fingerprints
+  (shape, dtype, CRC-32) the operand and output arrays the backward
+  closure captured; just before that closure runs, the fingerprints are
+  re-verified.  An in-place mutation between forward and backward —
+  PyTorch's "version counter" failure mode — raises
+  :class:`SavedTensorError` naming the op and the mutated operand.
+* **Dtype-policy guard** — an op whose float operands and output do not
+  share one dtype has silently escaped the compute policy (float32 by
+  default); :class:`DtypePolicyError` names the op and the dtypes.
+* **Leaked-graph check** — on context exit, any still-alive tensor that
+  retains its backward closure (graph never freed by ``backward()``)
+  raises :class:`GraphLeakError`.  Leaked graphs pin every intermediate
+  activation of a forward pass in memory.
+
+The sanitizer observes; it never copies into the graph or alters
+values, so sanitized and unsanitized runs are bitwise identical.  It is
+engaged either by ``with sanitize(): ...`` or the ``--sanitize`` CLI
+flag, and costs roughly one CRC-32 pass over every operand per op —
+cheap enough for tests and smoke runs, not meant for benchmark runs.
+"""
+
+from __future__ import annotations
+
+import weakref
+import zlib
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SanitizerError",
+    "NonFiniteError",
+    "SavedTensorError",
+    "DtypePolicyError",
+    "GraphLeakError",
+    "GraphSanitizer",
+    "sanitize",
+    "active",
+]
+
+
+class SanitizerError(RuntimeError):
+    """Base class for invariant violations caught by the sanitizer."""
+
+
+class NonFiniteError(SanitizerError):
+    """A forward output or backward gradient contains NaN/Inf."""
+
+
+class SavedTensorError(SanitizerError):
+    """An array saved for backward was mutated in place before use."""
+
+
+class DtypePolicyError(SanitizerError):
+    """An op mixed float dtypes, escaping the compute-dtype policy."""
+
+
+class GraphLeakError(SanitizerError):
+    """Tensors still hold backward closures after the sanitized region."""
+
+
+def _op_name(backward: Optional[Callable]) -> str:
+    """Human-readable op name from a backward closure.
+
+    Closures are defined inline inside the op that builds them, so the
+    qualname (``conv2d.<locals>.backward``, ``Tensor.exp.<locals>.backward``)
+    pinpoints the op; keep the innermost function name.
+    """
+    if backward is None:
+        return "<leaf>"
+    qualname = getattr(backward, "__qualname__", backward.__class__.__name__)
+    suffix = ".<locals>." + getattr(backward, "__name__", "backward")
+    if qualname.endswith(suffix):
+        qualname = qualname[: -len(suffix)]
+    return qualname.rsplit(".", 1)[-1]
+
+
+_Fingerprint = Tuple[Tuple[int, ...], str, int]
+
+
+def _fingerprint(array: np.ndarray) -> _Fingerprint:
+    arr = np.ascontiguousarray(array)
+    return (arr.shape, arr.dtype.str, zlib.crc32(arr.tobytes()))
+
+
+def _is_float(array: np.ndarray) -> bool:
+    return np.issubdtype(array.dtype, np.floating)
+
+
+class _OpRecord:
+    __slots__ = ("op", "out_ref", "saved")
+
+    def __init__(self, op: str, out_ref: "weakref.ref", saved: List[Tuple["weakref.ref", _Fingerprint]]):
+        self.op = op
+        self.out_ref = out_ref
+        self.saved = saved
+
+
+class GraphSanitizer:
+    """Collects per-op state and enforces the engine invariants.
+
+    Instances are installed by :func:`sanitize`; the engine calls
+    :meth:`record_op` from ``Tensor._make`` and
+    :meth:`check_before_backward` from ``Tensor.backward``.
+    """
+
+    def __init__(
+        self,
+        check_finite: bool = True,
+        check_saved: bool = True,
+        check_dtype: bool = True,
+        check_leaks: bool = True,
+    ) -> None:
+        self.check_finite = check_finite
+        self.check_saved = check_saved
+        self.check_dtype = check_dtype
+        self.check_leaks = check_leaks
+        # id(out) -> record; the weakref inside guards against id reuse.
+        self._records: Dict[int, _OpRecord] = {}
+        self.ops_checked = 0
+
+    # -- forward-time hooks ------------------------------------------------ #
+    def record_op(self, out) -> None:
+        """Inspect a freshly created op output (called from ``_make``)."""
+        op = _op_name(out._backward)
+        self.ops_checked += 1
+        if self.check_finite and _is_float(out.data) and not np.all(np.isfinite(out.data)):
+            bad = int(np.size(out.data) - np.count_nonzero(np.isfinite(out.data)))
+            raise NonFiniteError(
+                f"non-finite forward output from op '{op}': "
+                f"{bad} bad value(s) in tensor of shape {out.data.shape}"
+            )
+        if self.check_dtype:
+            float_dtypes = {p.data.dtype for p in out._parents if _is_float(p.data)}
+            if _is_float(out.data):
+                float_dtypes.add(out.data.dtype)
+            if len(float_dtypes) > 1:
+                names = sorted(str(d) for d in float_dtypes)
+                raise DtypePolicyError(
+                    f"op '{op}' mixes float dtypes {names}; all float operands "
+                    "and outputs of one op must share the compute dtype"
+                )
+        saved: List[Tuple[weakref.ref, _Fingerprint]] = []
+        if self.check_saved:
+            for parent in out._parents:
+                saved.append((weakref.ref(parent), _fingerprint(parent.data)))
+            saved.append((weakref.ref(out), _fingerprint(out.data)))
+        self._records[id(out)] = _OpRecord(op, weakref.ref(out), saved)
+
+    # -- backward-time hooks ----------------------------------------------- #
+    def check_before_backward(self, node) -> None:
+        """Verify invariants for ``node`` just before its backward runs."""
+        record = self._records.get(id(node))
+        if record is not None and record.out_ref() is not node:
+            record = None  # id was recycled by a dead tensor
+        op = record.op if record is not None else _op_name(node._backward)
+        if self.check_finite and node.grad is not None and _is_float(node.grad):
+            if not np.all(np.isfinite(node.grad)):
+                bad = int(np.size(node.grad) - np.count_nonzero(np.isfinite(node.grad)))
+                raise NonFiniteError(
+                    f"non-finite gradient entering backward of op '{op}': "
+                    f"{bad} bad value(s) in gradient of shape {node.grad.shape}"
+                )
+        if record is None or not self.check_saved:
+            return
+        for index, (ref, fingerprint) in enumerate(record.saved):
+            tensor = ref()
+            if tensor is None:
+                continue  # tensor died; its buffer cannot have been misused
+            current = _fingerprint(tensor.data)
+            if current != fingerprint:
+                role = "output" if tensor is node else f"operand {index}"
+                producer = self._records.get(id(tensor))
+                if producer is not None and producer.out_ref() is tensor and tensor is not node:
+                    role += f", produced by op '{producer.op}'"
+                raise SavedTensorError(
+                    f"array saved for backward of op '{op}' was mutated in "
+                    f"place ({role}, shape {fingerprint[0]}, dtype "
+                    f"{np.dtype(fingerprint[1])}); saved-tensor CRC changed "
+                    f"{fingerprint[2]:#010x} -> {current[2]:#010x}"
+                )
+
+    def notify_freed(self, node) -> None:
+        """Forget a node whose graph edges were released by ``backward()``."""
+        record = self._records.get(id(node))
+        if record is not None and record.out_ref() is node:
+            del self._records[id(node)]
+
+    # -- exit-time hooks --------------------------------------------------- #
+    def find_leaks(self) -> List[str]:
+        """Op names of still-alive tensors that kept their closures."""
+        leaks = []
+        for record in self._records.values():
+            tensor = record.out_ref()
+            if tensor is not None and tensor._backward is not None:
+                leaks.append(record.op)
+        return leaks
+
+    def assert_no_leaks(self) -> None:
+        import gc
+
+        gc.collect()
+        leaks = self.find_leaks()
+        if leaks:
+            shown = ", ".join(sorted(set(leaks)))
+            raise GraphLeakError(
+                f"{len(leaks)} tensor(s) still hold backward closures after "
+                f"the sanitized region (ops: {shown}); a graph was built but "
+                "never freed by backward() — intermediate activations stay "
+                "pinned in memory"
+            )
+
+
+_ACTIVE: Optional[GraphSanitizer] = None
+
+
+def active() -> Optional[GraphSanitizer]:
+    """The sanitizer currently installed, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def sanitize(
+    check_finite: bool = True,
+    check_saved: bool = True,
+    check_dtype: bool = True,
+    check_leaks: bool = True,
+) -> Iterator[GraphSanitizer]:
+    """Run the enclosed block under the autograd sanitizer.
+
+    Nestable; the innermost sanitizer wins.  The leaked-graph check runs
+    at clean exit only, so a violation raised inside the block is not
+    masked by a follow-on leak report.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    current = GraphSanitizer(
+        check_finite=check_finite,
+        check_saved=check_saved,
+        check_dtype=check_dtype,
+        check_leaks=check_leaks,
+    )
+    _ACTIVE = current
+    try:
+        yield current
+    except BaseException:
+        _ACTIVE = previous
+        raise
+    else:
+        _ACTIVE = previous
+        if current.check_leaks:
+            current.assert_no_leaks()

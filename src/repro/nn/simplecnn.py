@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..rng import rng_from_seed
 from . import functional as F
 from .classifier import ImageClassifier
 from .layers import BatchNorm2d, Conv2d, Linear, conv_bn_forward
@@ -54,7 +55,7 @@ class SimpleCNN(ImageClassifier):
             raise ValueError("convs_per_stage must be positive")
         if not widths:
             raise ValueError("widths must be non-empty")
-        rng = np.random.default_rng(seed)
+        rng = rng_from_seed(seed)
         self.num_classes = num_classes
         self.feature_dim = int(widths[-1])
         self.num_stages = len(widths)

@@ -27,6 +27,8 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from ..rng import unseeded_rng
+from .sanitizer import active as _sanitizer_active
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -43,7 +45,7 @@ _GRAD_ENABLED = True
 # finite-difference gradient checks keep running in full precision.
 
 _DEFAULT_DTYPE = np.dtype(np.float32)
-_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))  # lint: allow-float64
 
 
 def set_default_dtype(dtype) -> np.dtype:
@@ -128,7 +130,9 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed array node in a dynamic autodiff graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    # ``__weakref__`` lets the sanitizer track live graph nodes without
+    # keeping them alive (leaked-graph detection).
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "__weakref__")
 
     # Make numpy defer to our __radd__/__rmul__ etc. for ndarray <op> Tensor.
     __array_priority__ = 100.0
@@ -145,7 +149,7 @@ class Tensor:
             data = data.data
         if isinstance(data, (np.ndarray, np.generic)) and data.dtype in (
             np.float32,
-            np.float64,
+            np.float64,  # lint: allow-float64
         ):
             # Explicit float arrays — and numpy scalars produced by
             # reductions like ``arr.sum()`` — keep their precision
@@ -223,6 +227,9 @@ class Tensor:
         if needs:
             out._parents = parents
             out._backward = backward
+            sanitizer = _sanitizer_active()
+            if sanitizer is not None:
+                sanitizer.record_op(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -233,7 +240,7 @@ class Tensor:
             # instead of reallocating per contribution.
             self.grad += grad
 
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(self, grad: Optional[np.ndarray] = None, retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
         Parameters
@@ -241,6 +248,12 @@ class Tensor:
         grad:
             Gradient of some scalar objective w.r.t. this tensor.  Defaults
             to 1 for scalar tensors (the usual ``loss.backward()`` case).
+        retain_graph:
+            By default the graph is freed after the pass (backward closures
+            and parent links dropped) so intermediate activations are
+            reclaimed promptly and a stale graph can never be re-walked.
+            Pass ``True`` to keep it, e.g. to backpropagate a second
+            objective through the same forward pass.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -268,10 +281,20 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        sanitizer = _sanitizer_active()
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if sanitizer is not None:
+                    sanitizer.check_before_backward(node)
                 node._backward(node.grad)
+        if not retain_graph:
+            for node in topo:
+                if node._backward is not None:
+                    if sanitizer is not None:
+                        sanitizer.notify_freed(node)
+                    node._backward = None
+                    node._parents = ()
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
@@ -281,7 +304,7 @@ class Tensor:
             return other
         if isinstance(other, (np.ndarray, np.generic)) and other.dtype in (
             np.float32,
-            np.float64,
+            np.float64,  # lint: allow-float64
         ):
             return Tensor(other)
         # Python scalars, lists and integer arrays are dtype-weak: they
@@ -595,7 +618,7 @@ class Tensor:
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None,
               scale: float = 1.0, requires_grad: bool = False, dtype=None) -> "Tensor":
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else unseeded_rng()
         samples = rng.standard_normal(shape).astype(dtype or _DEFAULT_DTYPE) * scale
         return Tensor(samples, requires_grad=requires_grad)
 

@@ -14,6 +14,7 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from ..data.interactions import ImplicitFeedback
+from ..rng import rng_from_seed
 
 
 class BPRTripletSampler:
@@ -28,7 +29,7 @@ class BPRTripletSampler:
         if feedback.num_train_interactions == 0:
             raise ValueError("cannot sample triplets from empty feedback")
         self.feedback = feedback
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_from_seed(seed)
         # Flatten (user, item) training pairs for O(1) uniform sampling.
         users: List[int] = []
         items: List[int] = []

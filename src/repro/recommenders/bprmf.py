@@ -16,6 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..data.interactions import ImplicitFeedback
+from ..rng import rng_from_seed
 from .base import BPRTripletSampler, Recommender, sigmoid
 
 
@@ -50,7 +51,7 @@ class BPRMF(Recommender):
     ) -> None:
         super().__init__(num_users, num_items)
         self.config = config or BPRMFConfig()
-        rng = np.random.default_rng(self.config.seed)
+        rng = rng_from_seed(self.config.seed)
         scale = self.config.init_scale
         self.user_factors = rng.normal(0, scale, (num_users, self.config.factors))
         self.item_factors = rng.normal(0, scale, (num_items, self.config.factors))

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..data.interactions import ImplicitFeedback
+from ..rng import rng_from_seed
 from .base import BPRTripletSampler, Recommender, sigmoid
 
 
@@ -85,7 +86,7 @@ class VBPR(Recommender):
         self.features = features
         self.feature_dim = features.shape[1]
 
-        rng = np.random.default_rng(self.config.seed)
+        rng = rng_from_seed(self.config.seed)
         scale = self.config.init_scale
         k, a = self.config.factors, self.config.visual_factors
         self.user_factors = rng.normal(0, scale, (num_users, k))  # P

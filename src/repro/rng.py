@@ -1,0 +1,67 @@
+"""Central randomness policy for the reproduction.
+
+Every ``np.random.Generator`` in the codebase is constructed here, and
+lint rule RPR002 (see :mod:`repro.analysis`) enforces it: a direct
+``np.random.*`` call anywhere else in ``src/repro`` fails ``python -m
+repro lint``.  Funnelling construction through one module makes the
+seeding story auditable — a run is bitwise reproducible exactly when
+every Generator it uses was built by :func:`rng_from_seed` with a seed
+plumbed from the experiment config.
+
+Two constructors:
+
+* :func:`rng_from_seed` — the sanctioned path.  Identical stream to
+  ``np.random.default_rng(seed)``, so adopting it changed no numbers.
+* :func:`unseeded_rng` — an explicit, greppable escape hatch drawing OS
+  entropy.  Only default arguments of ad-hoc helpers use it; nothing on
+  an experiment path may.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
+
+
+def rng_from_seed(seed: SeedLike) -> np.random.Generator:
+    """Build the sanctioned ``Generator`` for ``seed``.
+
+    ``seed`` is normally an ``int`` plumbed from
+    :class:`~repro.experiments.config.ExperimentConfig` (or a component
+    config dataclass).  An existing ``Generator`` passes through
+    unchanged so call sites can accept either.  Streams are identical to
+    ``np.random.default_rng(seed)``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def unseeded_rng() -> np.random.Generator:
+    """An explicitly non-reproducible ``Generator`` (OS entropy).
+
+    Exists so that the *absence* of a seed is a visible, searchable
+    decision instead of a silent ``np.random.default_rng()`` default.
+    Never use this on a path whose output feeds an experiment artifact.
+    """
+    return np.random.default_rng()
+
+
+def derive_rng(seed: SeedLike, stream: str) -> np.random.Generator:
+    """A ``Generator`` for an independent, named substream of ``seed``.
+
+    Components that share one experiment seed but must not share a
+    random stream (e.g. two recommenders trained from the same config)
+    derive per-component streams by name.  Deterministic in
+    ``(seed, stream)``.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise TypeError("derive_rng needs a seed, not an existing Generator")
+    if seed is None:
+        raise ValueError("derive_rng requires an explicit integer seed")
+    label = [int(b) for b in stream.encode("utf-8")]
+    sequence = np.random.SeedSequence(label + [int(seed)])
+    return np.random.default_rng(sequence)

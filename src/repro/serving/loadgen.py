@@ -41,6 +41,7 @@ from ..core.pipeline import TAaMRPipeline
 from ..core.scenarios import make_scenario
 from ..experiments.config import men_config
 from ..experiments.context import build_context
+from ..rng import rng_from_seed
 from .service import RecommenderService
 
 
@@ -59,7 +60,7 @@ class ZipfLoadGenerator:
             raise ValueError("exponent must be non-negative")
         self.num_users = num_users
         self.exponent = exponent
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng_from_seed(seed)
         ranks = np.empty(num_users, dtype=np.float64)
         ranks[self._rng.permutation(num_users)] = np.arange(1, num_users + 1)
         weights = ranks**-exponent

@@ -1,0 +1,17 @@
+"""RPR001 fixture — one violation per dtype-promotion hazard form.
+
+Never imported; parsed by the lint self-tests.  Expected hits carry a
+VIOLATION marker comment; the pragma'd line must NOT fire.
+"""
+
+import numpy as np
+
+
+def hazards(x):
+    a = np.zeros((2, 2))  # VIOLATION: bare allocation defaults to float64
+    b = np.array([1.0, 2.0])  # VIOLATION: literal converts to float64
+    c = np.asarray(x, dtype=np.float64)  # VIOLATION: float64 in policy code
+    d = np.asarray(x, dtype=np.float64)  # lint: allow-float64
+    e = np.asarray(x)  # clean: passthrough preserves the operand dtype
+    f = np.zeros((2, 2), dtype=np.float32)  # clean: explicit dtype
+    return a, b, c, d, e, f

@@ -1,0 +1,16 @@
+"""RPR002 fixture — direct np.random calls outside repro.rng.
+
+Never imported; parsed by the lint self-tests.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+
+def draw(rng: Optional[np.random.Generator] = None):  # clean: annotation only
+    if rng is None:
+        rng = np.random.default_rng()  # VIOLATION: unseeded Generator
+    np.random.seed(0)  # VIOLATION: legacy global seeding
+    ok = isinstance(rng, np.random.Generator)  # clean: not a call target
+    return rng.random(3), ok

@@ -1,0 +1,47 @@
+"""RPR003 fixture — a stages.py-shaped module with fingerprint bugs.
+
+Mirrors the structure of ``repro/experiments/stages.py``: STAGE_SPECS
+declarations plus _BUILDERS/_PACKERS/_UNPACKERS dispatch dicts.  Two
+deliberate defects:
+
+* ``_helper`` (called from ``_build_dataset``) reads
+  ``config.image_size``, which the 'dataset' spec does not declare —
+  the stale-cache bug RPR003 exists to catch, reached transitively.
+* the 'dataset' spec declares ``unused_knob``, which nothing reads.
+
+Never imported; parsed by the lint self-tests.
+"""
+
+from collections import namedtuple
+
+StageSpec = namedtuple("StageSpec", "name deps config_fields")
+
+
+def _helper(results):
+    config = results.config
+    return config.image_size  # VIOLATION: read but undeclared (transitive)
+
+
+def _build_dataset(results):
+    config = results.config
+    size = _helper(results)
+    return config.scale, config.seed, size
+
+
+def _pack_dataset(results):
+    key = results.config.cache_key()  # clean: method call, not a field read
+    return {"key": key}, {}
+
+
+def _unpack_dataset(results, arrays, meta):
+    results.dataset = arrays
+
+
+STAGE_SPECS = (
+    # VIOLATION (this call): declares 'unused_knob', which is never read.
+    StageSpec("dataset", (), ("scale", "seed", "unused_knob")),
+)
+
+_BUILDERS = {"dataset": _build_dataset}
+_PACKERS = {"dataset": _pack_dataset}
+_UNPACKERS = {"dataset": _unpack_dataset}

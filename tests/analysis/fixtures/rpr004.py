@@ -1,0 +1,21 @@
+"""RPR004 fixture — mutable default arguments.
+
+Never imported; parsed by the lint self-tests.
+"""
+
+
+def bad(x, cache={}):  # VIOLATION: shared dict across calls
+    cache[x] = True
+    return cache
+
+
+def also_bad(x, *, seen=list()):  # VIOLATION: list() default
+    seen.append(x)
+    return seen
+
+
+def fine(x, cache=None, y=(), z="name"):  # clean: immutable defaults
+    if cache is None:
+        cache = {}
+    cache[x] = (y, z)
+    return cache

@@ -1,0 +1,11 @@
+"""RPR005 fixture — raw numpy serialization outside repro.artifacts.
+
+Never imported; parsed by the lint self-tests.
+"""
+
+import numpy as np
+
+
+def persist(path, array):
+    np.savez(path, data=array)  # VIOLATION: bypasses the artifact protocol
+    return np.load(path)  # VIOLATION: unversioned, unfingerprinted load

@@ -1,0 +1,160 @@
+"""Self-tests for the repro.analysis lint engine.
+
+Each fixture under ``fixtures/`` carries one rule's deliberate
+violations (marked ``# VIOLATION``); the tests assert every rule fires
+exactly on those lines — and nowhere in the shipped ``src/repro`` tree.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, LintEngine, rule_by_id
+from repro.analysis.engine import PACKAGE_ROOT
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _engine() -> LintEngine:
+    return LintEngine(ALL_RULES)
+
+
+def _violation_lines(path: Path, rule: str):
+    violations = _engine().run([path], select=[rule])
+    assert all(v.rule == rule for v in violations)
+    return [v.line for v in violations]
+
+
+def _marked_lines(path: Path):
+    return [
+        lineno
+        for lineno, text in enumerate(path.read_text().splitlines(), start=1)
+        if "# VIOLATION" in text
+    ]
+
+
+class TestRuleRegistry:
+    def test_all_five_rules_registered(self):
+        assert [rule.id for rule in ALL_RULES] == [
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+        ]
+
+    def test_every_rule_has_explanation(self):
+        for rule in ALL_RULES:
+            assert rule.title and len(rule.rationale.strip()) > 40
+        assert rule_by_id("rpr003") is ALL_RULES[2]
+        assert rule_by_id("RPR999") is None
+
+
+class TestFixturesFireExactly:
+    @pytest.mark.parametrize(
+        "fixture, rule",
+        [
+            ("rpr001.py", "RPR001"),
+            ("rpr002.py", "RPR002"),
+            ("rpr004.py", "RPR004"),
+            ("rpr005.py", "RPR005"),
+        ],
+    )
+    def test_fixture_hits_marked_lines_only(self, fixture, rule):
+        path = FIXTURES / fixture
+        assert _violation_lines(path, rule) == _marked_lines(path)
+
+    def test_rpr003_catches_undeclared_read_and_unread_field(self):
+        path = FIXTURES / "rpr003_stages.py"
+        violations = _engine().run([path], select=["RPR003"])
+        messages = {v.message for v in violations}
+        assert len(violations) == 2
+        undeclared = next(v for v in violations if "image_size" in v.message)
+        unread = next(v for v in violations if "unused_knob" in v.message)
+        # The undeclared read is reported at the read site inside _helper,
+        # proving the transitive closure through helper calls works.
+        assert undeclared.line in _marked_lines(path)
+        assert "does not declare" in undeclared.message
+        assert "never reads" in unread.message
+        # cache_key() is a method call, not a field read.
+        assert not any("cache_key" in message for message in messages)
+
+    def test_allow_float64_pragma_suppresses(self):
+        path = FIXTURES / "rpr001.py"
+        pragma_lines = [
+            lineno
+            for lineno, text in enumerate(path.read_text().splitlines(), start=1)
+            if "allow-float64" in text
+        ]
+        assert pragma_lines  # the fixture must exercise the pragma
+        assert not set(pragma_lines) & set(_violation_lines(path, "RPR001"))
+
+    def test_disable_pragma_suppresses(self, tmp_path):
+        source = "import numpy as np\nx = np.zeros(3)  # lint: disable=RPR001\n"
+        path = tmp_path / "pragma.py"
+        path.write_text(source)
+        assert _engine().run([path]) == []
+        path.write_text(source.replace("  # lint: disable=RPR001", ""))
+        assert [v.rule for v in _engine().run([path])] == ["RPR001"]
+
+
+class TestShippedTreeClean:
+    def test_src_repro_is_lint_clean(self):
+        violations = _engine().run([PACKAGE_ROOT])
+        assert violations == [], LintEngine.format_text(violations)
+
+    def test_rpr003_actually_parses_shipped_stages(self):
+        # Guard against RPR003 silently skipping stages.py: the spec
+        # parser must extract all eight stages from the real module.
+        from repro.analysis.engine import ParsedModule
+        from repro.analysis.fingerprints import StageFingerprintRule
+
+        module = ParsedModule(PACKAGE_ROOT / "experiments" / "stages.py")
+        specs = StageFingerprintRule()._parse_specs(module.tree)
+        assert specs is not None and len(specs) == 8
+
+
+class TestSelectIgnoreAndFormats:
+    def test_select_limits_rules(self):
+        violations = _engine().run([FIXTURES / "rpr005.py"], select=["RPR004"])
+        assert violations == []
+
+    def test_ignore_drops_rules(self):
+        violations = _engine().run([FIXTURES / "rpr005.py"], ignore=["RPR005"])
+        assert not any(v.rule == "RPR005" for v in violations)
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(ValueError, match="RPR999"):
+            _engine().run([FIXTURES], select=["RPR999"])
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert cli_main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "fixture", ["rpr001.py", "rpr002.py", "rpr003_stages.py", "rpr004.py", "rpr005.py"]
+    )
+    def test_each_fixture_fails_the_cli(self, fixture, capsys):
+        assert cli_main(["lint", str(FIXTURES / fixture)]) == 1
+        out = capsys.readouterr().out
+        rule = "RPR003" if "rpr003" in fixture else fixture[:6].upper()
+        assert rule in out and f"{fixture}:" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert cli_main(["lint", "--format", "json", str(FIXTURES / "rpr004.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload} == {"RPR004"}
+        assert all({"path", "line", "col", "message"} <= set(entry) for entry in payload)
+
+    def test_explain_prints_rationale(self, capsys):
+        assert cli_main(["lint", "--explain", "--select", "RPR003"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR003" in out and "fingerprint" in out
+        assert "RPR004" not in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert cli_main(["lint", "--select", "RPR999"]) == 2

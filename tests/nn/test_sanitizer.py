@@ -1,0 +1,156 @@
+"""Tests for the autograd sanitizer (repro.nn.sanitizer).
+
+Covers the four invariant checks — non-finite guards with op-level
+provenance, saved-tensor integrity (in-place mutation), dtype-policy
+violations, leaked graphs — plus the two meta-properties that make the
+sanitizer usable: clean attacks are bitwise identical under it, and the
+default graph-freeing in ``backward()`` keeps it quiet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, PGD
+from repro.nn import Tensor, TinyResNet, sanitize
+from repro.nn.sanitizer import (
+    DtypePolicyError,
+    GraphLeakError,
+    NonFiniteError,
+    SavedTensorError,
+    active,
+)
+from repro.nn.tensor import compute_dtype
+from repro.rng import rng_from_seed
+
+
+def _f32(shape, seed=0):
+    return rng_from_seed(seed).random(shape).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def model():
+    net = TinyResNet(num_classes=4, widths=(4, 8), blocks_per_stage=(1, 1), seed=3)
+    net.eval()
+    return net
+
+
+class TestSavedTensorIntegrity:
+    def test_inplace_mutation_detected_with_op_named(self):
+        with pytest.raises(SavedTensorError, match="__mul__"):
+            with sanitize():
+                x = Tensor(_f32((4,)), requires_grad=True)
+                y = x * x
+                loss = y.sum()
+                x.data += 1.0  # corrupt the array saved for y's backward
+                loss.backward()
+
+    def test_intermediate_mutation_names_producing_op(self):
+        # Mutating y (exp's output, sum's operand) is caught at the first
+        # consumer walked back; the message names the producing op too.
+        with pytest.raises(SavedTensorError, match="produced by op 'exp'"):
+            with sanitize():
+                x = Tensor(_f32((4,)), requires_grad=True)
+                y = x.exp()  # backward uses the saved output
+                loss = y.sum()
+                y.data *= 2.0
+                loss.backward()
+
+    def test_untouched_graph_passes(self):
+        with sanitize():
+            x = Tensor(_f32((4,)), requires_grad=True)
+            (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0 * x.data)
+
+
+class TestNonFiniteGuards:
+    def test_forward_nan_localized_to_producing_op(self):
+        with sanitize():
+            x = Tensor(np.zeros((3, 2), dtype=np.float32), requires_grad=True)
+            with np.errstate(divide="ignore"):
+                with pytest.raises(NonFiniteError) as excinfo:
+                    x.log()
+        message = str(excinfo.value)
+        assert "log" in message and "(3, 2)" in message
+
+    def test_backward_nan_localized(self):
+        with pytest.raises(NonFiniteError, match="__mul__"):
+            with sanitize():
+                x = Tensor(_f32((2, 2)), requires_grad=True)
+                y = x * 2.0
+                bad_grad = np.ones((2, 2), dtype=np.float32)
+                bad_grad[0, 0] = np.nan
+                y.backward(bad_grad)
+
+    def test_clean_values_pass(self):
+        with sanitize() as guard:
+            x = Tensor(_f32((2, 2)), requires_grad=True)
+            x.exp().sum().backward()
+        assert guard.ops_checked >= 2
+
+
+class TestDtypePolicy:
+    def test_mixed_float_dtypes_raise(self):
+        with sanitize():
+            a = Tensor(_f32((3,)), requires_grad=True)
+            b = Tensor(np.ones(3, dtype=np.float64))
+            with pytest.raises(DtypePolicyError, match="float64"):
+                a * b
+
+    def test_uniform_float64_graph_is_fine(self):
+        # Gradchecks run whole graphs in float64; uniform dtype is legal.
+        with compute_dtype(np.float64):
+            with sanitize():
+                x = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+                (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0)
+
+
+class TestGraphLifecycle:
+    def test_leaked_graph_raises_at_exit(self):
+        with pytest.raises(GraphLeakError, match="__mul__"):
+            with sanitize():
+                x = Tensor(_f32((3,)), requires_grad=True)
+                leaked = x * 2.0  # noqa: F841 — built, never backwarded
+
+    def test_backward_frees_graph_by_default(self):
+        x = Tensor(_f32((3,)), requires_grad=True)
+        y = (x * 3.0).sum()
+        y.backward()
+        assert y._backward is None and y._parents == ()
+
+    def test_retain_graph_allows_second_backward(self):
+        x = Tensor(_f32((3,)), requires_grad=True)
+        y = (x * 3.0).sum()
+        y.backward(retain_graph=True)
+        assert y._backward is not None
+        np.testing.assert_allclose(x.grad, 3.0)
+        # Fresh pass over the retained graph reproduces the gradient.
+        mul = y._parents[0]
+        for node in (x, mul, y):
+            node.zero_grad()
+        y.backward()
+        np.testing.assert_allclose(x.grad, 3.0)
+        assert y._backward is None  # the non-retaining pass freed it
+
+    def test_sanitizer_deactivates_on_exit(self):
+        with sanitize() as guard:
+            assert active() is guard
+        assert active() is None
+
+
+class TestAttacksUnderSanitizer:
+    """Clean FGSM/PGD must pass sanitized and be bitwise identical."""
+
+    def test_fgsm_bitwise_identical(self, model):
+        images = _f32((5, 3, 16, 16), seed=1)
+        plain = FGSM(model, epsilon=0.03).attack(images, target_class=1)
+        with sanitize():
+            checked = FGSM(model, epsilon=0.03).attack(images, target_class=1)
+        assert plain.adversarial_images.tobytes() == checked.adversarial_images.tobytes()
+
+    def test_pgd_bitwise_identical(self, model):
+        images = _f32((4, 3, 16, 16), seed=2)
+        plain = PGD(model, 0.03, num_steps=3, seed=0).attack(images, target_class=2)
+        with sanitize():
+            checked = PGD(model, 0.03, num_steps=3, seed=0).attack(images, target_class=2)
+        assert plain.adversarial_images.tobytes() == checked.adversarial_images.tobytes()
