@@ -75,13 +75,21 @@ class ParsedModule:
                 self.disabled_rules[lineno] = {rule for rule in rules if rule}
             if _ALLOW_FLOAT64_RE.search(text):
                 self.allow_float64_lines.add(lineno)
-        # numpy aliases in this module ("np", usually).
+        # numpy aliases in this module ("np", usually), plus aliases of
+        # the stdlib time module and names imported from it (RPR006).
         self.numpy_aliases: Set[str] = set()
+        self.time_aliases: Set[str] = set()
+        self.time_imports: Dict[str, str] = {}  # local name -> time.<func>
         for node in ast.walk(self.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "numpy" or alias.name.startswith("numpy."):
                         self.numpy_aliases.add((alias.asname or alias.name).split(".")[0])
+                    if alias.name == "time":
+                        self.time_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    self.time_imports[alias.asname or alias.name] = alias.name
 
     # -- helpers rules share ----------------------------------------------- #
     def in_package_dir(self, *prefixes: str) -> bool:
@@ -109,6 +117,24 @@ class ParsedModule:
             and isinstance(node.value, ast.Name)
             and node.value.id in self.numpy_aliases
         )
+
+    def time_function_called(self, node: ast.AST) -> Optional[str]:
+        """The ``time`` module function a call target resolves to, if any.
+
+        Handles both spellings — ``time.perf_counter`` through a module
+        alias and a bare ``perf_counter`` imported via ``from time
+        import ...`` (possibly renamed).  Returns the canonical function
+        name (``"perf_counter"``) or ``None``.
+        """
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.time_aliases
+        ):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return self.time_imports.get(node.id)
+        return None
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:

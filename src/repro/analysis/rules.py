@@ -1,4 +1,4 @@
-"""Lint rules RPR001/002/004/005 (RPR003 lives in ``fingerprints.py``).
+"""Lint rules RPR001/002/004/005/006 (RPR003 lives in ``fingerprints.py``).
 
 Each rule is a tiny AST pass over one :class:`~repro.analysis.engine.
 ParsedModule`.  Rules scope themselves: a check that only makes sense
@@ -220,6 +220,56 @@ class SerializationProtocolRule(Rule):
                     )
 
 
+class RawTimingRule(Rule):
+    """RPR006 — raw stdlib timing calls outside repro.telemetry."""
+
+    id = "RPR006"
+    title = "raw time.time()/time.perf_counter() outside repro.telemetry"
+    rationale = """
+    PR 5 unified all measurement on the telemetry layer: manifest stage
+    timings, bench wall times, serving latencies, span durations and the
+    op profiler all read `repro.telemetry.monotonic` (one clock) or go
+    through spans/histograms (one code path).  A raw `time.time()` or
+    `time.perf_counter()` elsewhere measures with a different clock —
+    `time.time()` is not even monotonic, so an NTP step mid-run yields
+    negative durations — and its numbers silently diverge from every
+    trace and metric.  Flags calls to the stdlib timing reads (`time`,
+    `perf_counter`, `monotonic`, `process_time` and their `_ns`
+    variants) through either spelling (module attribute or `from time
+    import ...`), everywhere except repro/telemetry, which wraps the
+    stdlib clock by design.
+    """
+
+    _TIMING_FUNCS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        if module.package_rel is not None and module.in_package_dir("telemetry/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = module.time_function_called(node.func)
+            if called in self._TIMING_FUNCS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"raw time.{called}() call; read the clock through "
+                    "repro.telemetry (monotonic/Stopwatch) or time the region "
+                    "with a span so all measurements share one clock",
+                )
+
+
 def _build_registry() -> List[Rule]:
     from .fingerprints import StageFingerprintRule
 
@@ -229,6 +279,7 @@ def _build_registry() -> List[Rule]:
         StageFingerprintRule(),
         MutableDefaultRule(),
         SerializationProtocolRule(),
+        RawTimingRule(),
     ]
     return sorted(rules, key=lambda rule: rule.id)
 

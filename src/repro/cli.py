@@ -26,7 +26,12 @@ inputs changed re-run — and emits a JSON run manifest (per-stage
 fingerprints, artifact hashes, cache hit/built actions, timings);
 ``lint`` runs the repo-specific static analysis (:mod:`repro.analysis`).
 Every workflow subcommand also accepts ``--sanitize`` to run under the
-autograd sanitizer (:mod:`repro.nn.sanitizer`).
+autograd sanitizer (:mod:`repro.nn.sanitizer`), plus the observability
+switches ``--profile`` (autograd op profiler + metrics registry, hot-op
+table on exit) and ``--trace-out PATH`` (record telemetry spans and
+write a Chrome ``chrome://tracing`` trace, or JSON-lines for ``.jsonl``
+paths); ``python -m repro profile`` runs a self-contained profiling
+workload and prints the hot-op table.
 """
 
 from __future__ import annotations
@@ -73,6 +78,22 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="run under the autograd sanitizer (NaN/Inf guards, saved-tensor "
         "integrity, dtype-policy and leaked-graph checks); values are "
         "bitwise identical, execution is slower",
+    )
+    _add_telemetry_arguments(parser)
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect autograd op stats and run metrics; prints the hot-op "
+        "table and a metrics snapshot on exit (outputs stay bitwise "
+        "identical)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record telemetry spans and write them to PATH on exit "
+        "(Chrome chrome://tracing format; '.jsonl' suffix selects "
+        "JSON-lines)",
     )
 
 
@@ -251,6 +272,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     results, manifest = runner.run(stages=stages, force=force)
+    from .telemetry.session import current_report
+
+    manifest.telemetry = current_report()
     print(format_manifest(manifest))
     if args.manifest:
         manifest.save(args.manifest)
@@ -258,6 +282,62 @@ def cmd_run(args: argparse.Namespace) -> int:
     if results.tables_text and not args.quiet:
         print()
         print(results.tables_text)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Self-contained profiling workload: train a tiny classifier, attack it.
+
+    Everything runs under the op profiler (plus tracing when
+    ``--trace-out`` is given), so the hot-op table covers forward,
+    backward, FGSM and PGD on one small catalog — the quickest way to
+    see where the engine spends its time.
+    """
+    from .attacks import FGSM, PGD
+    from .data import amazon_men_like
+    from .features import ClassifierConfig, train_catalog_classifier
+    from .telemetry import format_hot_ops, format_metrics, span, telemetry_session
+
+    with telemetry_session(
+        trace=args.trace_out is not None, metrics=True, profile=True
+    ) as session:
+        dataset = amazon_men_like(
+            scale=args.scale, image_size=args.image_size, seed=args.seed
+        )
+        model, report = train_catalog_classifier(
+            dataset.images,
+            dataset.item_categories,
+            dataset.num_categories,
+            widths=(8, 16),
+            blocks_per_stage=(1, 1),
+            config=ClassifierConfig(
+                epochs=args.epochs, batch_size=32, learning_rate=0.08, seed=args.seed
+            ),
+        )
+        batch = dataset.images[:32]
+        target = int(dataset.item_categories[0])
+        epsilon = epsilon_from_255(8.0)
+        with span("profile.fgsm"):
+            FGSM(model, epsilon).attack(batch, target_class=target)
+        with span("profile.pgd"):
+            PGD(model, epsilon, num_steps=args.steps, seed=args.seed).attack(
+                batch, target_class=target
+            )
+
+    if not args.quiet:
+        print(
+            f"workload: {dataset.images.shape[0]} images, "
+            f"classifier accuracy {report.final_train_accuracy:.3f}, "
+            f"FGSM + {args.steps}-step PGD on a {batch.shape[0]}-image batch"
+        )
+        print()
+    print(format_hot_ops(session.profiler))
+    if not args.quiet and len(session.metrics):
+        print()
+        print(format_metrics(session.metrics))
+    if args.trace_out:
+        session.recorder.write(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -388,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the JSON report to this path"
     )
     bench.add_argument("--quiet", action="store_true", help="suppress progress logs")
+    _add_telemetry_arguments(bench)
     bench.set_defaults(handler=cmd_bench)
 
     serve = subparsers.add_parser(
@@ -409,16 +490,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report to this path",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress progress logs")
+    _add_telemetry_arguments(serve)
     serve.set_defaults(handler=cmd_serve_bench)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile the autograd engine on a small attack workload",
+        description="Train a tiny classifier and run FGSM + PGD against it "
+        "under the autograd op profiler; prints the hot-op table (per-op "
+        "calls, forward/backward wall time, output bytes) and optionally "
+        "writes a Chrome trace.",
+    )
+    profile.add_argument("--scale", type=float, default=0.002, help="dataset scale factor")
+    profile.add_argument("--image-size", type=int, default=16, help="catalog image size")
+    profile.add_argument("--epochs", type=int, default=2, help="classifier epochs")
+    profile.add_argument("--steps", type=int, default=10, help="PGD iterations")
+    profile.add_argument("--seed", type=int, default=0, help="experiment seed")
+    profile.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also record spans and write the trace to PATH",
+    )
+    profile.add_argument("--quiet", action="store_true", help="hot-op table only")
+    profile.set_defaults(handler=cmd_profile, _owns_telemetry=True)
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the repo-specific static analysis (rules RPR001-RPR005)",
+        help="run the repo-specific static analysis (rules RPR001-RPR006)",
         description="AST lint for reproduction invariants: dtype-promotion "
         "hazards (RPR001), randomness outside repro.rng (RPR002), stage "
         "fingerprint/config-read mismatches (RPR003), mutable default "
         "arguments (RPR004), raw numpy serialization outside repro.artifacts "
-        "(RPR005). Exits non-zero when violations are found.",
+        "(RPR005), raw time-module timing outside repro.telemetry (RPR006). "
+        "Exits non-zero when violations are found.",
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -438,15 +541,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _run_handler(args: argparse.Namespace) -> int:
     if getattr(args, "sanitize", False):
         from .nn import sanitize
 
         with sanitize():
             return args.handler(args)
     return args.handler(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    profile = bool(getattr(args, "profile", False))
+    trace_out = getattr(args, "trace_out", None)
+    # ``repro profile`` manages its own session (the report *is* the
+    # command's output); everything else is wrapped here.
+    if getattr(args, "_owns_telemetry", False) or not (profile or trace_out):
+        return _run_handler(args)
+
+    from .telemetry import format_hot_ops, format_metrics, telemetry_session
+
+    with telemetry_session(
+        trace=trace_out is not None, metrics=True, profile=profile
+    ) as session:
+        code = _run_handler(args)
+    if profile:
+        print()
+        print(format_hot_ops(session.profiler))
+    if session.metrics is not None and len(session.metrics):
+        print()
+        print(format_metrics(session.metrics))
+    if trace_out:
+        # Written after the session closes: the recorder retains every
+        # completed span, and this order keeps exporter cost out of the
+        # measured region.
+        session.recorder.write(trace_out)
+        print(f"trace written to {trace_out}")
+    return code
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from ..features.extractor import FeatureExtractor
 from ..metrics import batch_psnr, batch_ssim, psm_from_features
 from ..recommenders.evaluation import recommendation_rank_of_item
 from ..recommenders.vbpr import VBPR
+from ..telemetry import span
 from .chr import category_hit_ratio, chr_report
 from .scenarios import AttackScenario
 
@@ -223,37 +224,47 @@ class TAaMRPipeline:
         clean_images = self.dataset.images[source_items]
         # The catalog was classified once at construction; slicing those
         # predictions saves the attack one full clean forward pass.
-        result: AttackResult = attack.attack(
-            clean_images,
-            target_class=target_class,
-            original_predictions=self.item_classes[source_items],
-        )
+        with span(
+            "pipeline.attack",
+            attack=attack_name or type(attack).__name__,
+            items=int(source_items.size),
+        ):
+            result: AttackResult = attack.attack(
+                clean_images,
+                target_class=target_class,
+                original_predictions=self.item_classes[source_items],
+            )
 
         # The deployed system re-extracts features from the swapped images.
         # One extraction serves both the recommender (standardised) and the
         # PSM metric (raw); the clean side comes from the cached catalog
         # features instead of a second forward pass.
-        adversarial_raw = self.extractor.model.extract_features(
-            result.adversarial_images, batch_size=self.extractor.batch_size
-        )
-        features_after = self.clean_features.copy()
-        features_after[source_items] = self.extractor.transform_raw_features(adversarial_raw)
-        scores_after = self.recommender.score_all(features=features_after)
-        top_after = self.recommender.top_n(
-            self.cutoff, feedback=self.dataset.feedback, scores=scores_after
-        )
+        with span("pipeline.reextract", items=int(source_items.size)):
+            adversarial_raw = self.extractor.model.extract_features(
+                result.adversarial_images, batch_size=self.extractor.batch_size
+            )
+        with span("pipeline.rescore"):
+            features_after = self.clean_features.copy()
+            features_after[source_items] = self.extractor.transform_raw_features(
+                adversarial_raw
+            )
+            scores_after = self.recommender.score_all(features=features_after)
+            top_after = self.recommender.top_n(
+                self.cutoff, feedback=self.dataset.feedback, scores=scores_after
+            )
 
-        visual = VisualQuality(
-            psnr=float(np.mean(batch_psnr(clean_images, result.adversarial_images))),
-            ssim=float(np.mean(batch_ssim(clean_images, result.adversarial_images))),
-            psm=float(
-                np.mean(
-                    psm_from_features(
-                        self.clean_raw_features[source_items], adversarial_raw
+        with span("pipeline.visual_metrics"):
+            visual = VisualQuality(
+                psnr=float(np.mean(batch_psnr(clean_images, result.adversarial_images))),
+                ssim=float(np.mean(batch_ssim(clean_images, result.adversarial_images))),
+                psm=float(
+                    np.mean(
+                        psm_from_features(
+                            self.clean_raw_features[source_items], adversarial_raw
+                        )
                     )
-                )
-            ),
-        )
+                ),
+            )
 
         return AttackOutcome(
             scenario=scenario,

@@ -19,7 +19,6 @@ training noise.  Results are written as JSON for regression tracking.
 from __future__ import annotations
 
 import json
-import time
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -35,6 +34,7 @@ from ..nn import (
     parameter_freezing,
     workspace_reuse,
 )
+from ..telemetry import active_metrics, monotonic, span
 from .config import men_config
 from .context import build_context, clear_context_registry
 from .runner import run_attack_grid
@@ -64,9 +64,9 @@ def _best_wall_time(fn: Callable[[], None], repeats: int) -> float:
     fn()
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = monotonic()
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, monotonic() - start)
     return best
 
 
@@ -140,7 +140,9 @@ def run_perf_bench(
             f"mode {mode_name}: dtype={dtype.name} folding={mode['folding']} "
             f"workspace={mode['workspace']} freeze_params={mode['freeze_params']}"
         )
-        with compute_dtype(dtype), conv_bn_folding(mode["folding"]), workspace_reuse(
+        with span("bench.mode", mode=mode_name, dtype=dtype.name), compute_dtype(
+            dtype
+        ), conv_bn_folding(mode["folding"]), workspace_reuse(
             mode["workspace"]
         ), parameter_freezing(mode["freeze_params"]):
             model.to_dtype(dtype)
@@ -188,9 +190,9 @@ def run_perf_bench(
                 # way; the engine mode governs every CNN pass the grid
                 # makes (catalog scan, attacks, re-extraction).
                 grid_context.classifier.to_dtype(dtype)
-                start = time.perf_counter()
+                start = monotonic()
                 grid = run_attack_grid(grid_context, "VBPR", use_cache=False)
-                wall = time.perf_counter() - start
+                wall = monotonic() - start
                 mode_report["attack_grid"] = _timing(wall, len(grid.outcomes), "cells/s")
                 log(f"  attack_grid: {wall:.2f}s for {len(grid.outcomes)} cells")
 
@@ -220,6 +222,10 @@ def run_perf_bench(
         "modes": results,
         "speedup": speedup,
     }
+
+    registry = active_metrics()
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
 
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:

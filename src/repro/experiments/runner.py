@@ -16,6 +16,7 @@ from ..attacks import FGSM, PGD
 from ..attacks.base import GradientAttack
 from ..attacks.projections import epsilon_from_255
 from ..core import AttackOutcome, AttackScenario, TAaMRPipeline, paper_scenarios
+from ..telemetry import span
 from .context import ExperimentContext
 
 # LRU-bounded: each grid pins a pipeline (full catalog features, scores
@@ -96,9 +97,19 @@ def run_attack_grid(
     for scenario in resolved_scenarios:
         for epsilon_255 in resolved_epsilons:
             for attack_name, attack in _make_attacks(context, epsilon_255).items():
-                outcomes.append(
-                    pipeline.attack_category(scenario, attack, attack_name=attack_name)
-                )
+                with span(
+                    "attack_grid.cell",
+                    recommender=recommender_name.upper(),
+                    source=scenario.source,
+                    target=scenario.target,
+                    attack=attack_name,
+                    epsilon_255=float(epsilon_255),
+                ):
+                    outcomes.append(
+                        pipeline.attack_category(
+                            scenario, attack, attack_name=attack_name
+                        )
+                    )
 
     grid = AttackGrid(
         recommender_name=recommender_name.upper(),

@@ -29,7 +29,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from dataclasses import asdict, dataclass, field
 from types import SimpleNamespace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -46,6 +45,7 @@ from ..data.serialization import pack_dataset, unpack_dataset
 from ..features import ClassifierConfig, ClassifierTrainer, FeatureExtractor
 from ..nn import TinyResNet
 from ..recommenders import AMR, AMRConfig, VBPR, VBPRConfig
+from ..telemetry import Stopwatch, span
 from .config import ExperimentConfig
 
 RECOMMENDER_NAMES = ("VBPR", "AMR")
@@ -171,6 +171,9 @@ class RunManifest:
     config: Dict[str, Any]
     store_root: Optional[str]
     stages: List[StageOutcome] = field(default_factory=list)
+    #: Telemetry report (metrics snapshot / hot-op table) when the run
+    #: was executed inside a telemetry session; absent otherwise.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -189,7 +192,7 @@ class RunManifest:
         return bool(self.stages) and not self.built
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "manifest_version": 1,
             "config_key": self.config_key,
             "config": self.config,
@@ -199,6 +202,9 @@ class RunManifest:
             "built": self.built,
             "stages": [outcome.as_dict() for outcome in self.stages],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
     def save(self, path: str) -> None:
         directory = os.path.dirname(os.path.abspath(path))
@@ -455,9 +461,17 @@ def _build_attack_grid(results: StageResults) -> None:
                     ),
                 }
                 for attack_name, attack in attacks.items():
-                    outcome = pipeline.attack_category(
-                        scenario, attack, attack_name=attack_name
-                    )
+                    with span(
+                        "attack_grid.cell",
+                        recommender=name,
+                        source=scenario.source,
+                        target=scenario.target,
+                        attack=attack_name,
+                        epsilon_255=float(epsilon_255),
+                    ):
+                        outcome = pipeline.attack_category(
+                            scenario, attack, attack_name=attack_name
+                        )
                     rows.append(
                         {
                             "recommender": name,
@@ -696,70 +710,73 @@ class StageRunner:
     ) -> StageOutcome:
         spec = _SPEC_BY_NAME[name]
         fingerprint = self.fingerprints[name]
-        started = time.perf_counter()
         reason = "forced rebuild" if forced else ""
 
-        if self.store is not None and not forced:
-            try:
-                loaded = self.store.load(
-                    spec.kind, fingerprint, schema_version=spec.schema_version
-                )
-                recorded_inputs = loaded.meta.get("__inputs__", {})
-                stale = {
-                    dep: (recorded_inputs.get(dep), hashes.get(dep))
-                    for dep in spec.deps
-                    if recorded_inputs.get(dep) != hashes.get(dep)
-                }
-                if stale:
-                    raise ArtifactError(
-                        f"inputs changed since the artifact was built: {sorted(stale)}"
+        with span(f"stage.{name}", fingerprint=fingerprint) as stage_span:
+            watch = Stopwatch()
+            if self.store is not None and not forced:
+                try:
+                    loaded = self.store.load(
+                        spec.kind, fingerprint, schema_version=spec.schema_version
                     )
-                _UNPACKERS[name](results, loaded.arrays, loaded.meta)
-                hashes[name] = loaded.ref.content_hash
-                self._log(f"stage {name}: loaded from store ({fingerprint})")
-                return StageOutcome(
-                    name=name,
-                    fingerprint=fingerprint,
-                    action="hit",
-                    seconds=time.perf_counter() - started,
-                    content_hash=loaded.ref.content_hash,
-                    path=loaded.ref.path,
-                )
-            except ArtifactError as error:
-                reason = (
-                    "no stored artifact"
-                    if isinstance(error, FileNotFoundError)
-                    else f"refused stored artifact: {error}"
-                )
+                    recorded_inputs = loaded.meta.get("__inputs__", {})
+                    stale = {
+                        dep: (recorded_inputs.get(dep), hashes.get(dep))
+                        for dep in spec.deps
+                        if recorded_inputs.get(dep) != hashes.get(dep)
+                    }
+                    if stale:
+                        raise ArtifactError(
+                            f"inputs changed since the artifact was built: {sorted(stale)}"
+                        )
+                    _UNPACKERS[name](results, loaded.arrays, loaded.meta)
+                    hashes[name] = loaded.ref.content_hash
+                    self._log(f"stage {name}: loaded from store ({fingerprint})")
+                    stage_span.set_attrs(action="hit")
+                    return StageOutcome(
+                        name=name,
+                        fingerprint=fingerprint,
+                        action="hit",
+                        seconds=watch.elapsed(),
+                        content_hash=loaded.ref.content_hash,
+                        path=loaded.ref.path,
+                    )
+                except ArtifactError as error:
+                    reason = (
+                        "no stored artifact"
+                        if isinstance(error, FileNotFoundError)
+                        else f"refused stored artifact: {error}"
+                    )
 
-        _BUILDERS[name](results)
-        arrays, meta = _PACKERS[name](results)
-        meta = dict(meta)
-        meta["__inputs__"] = {dep: hashes[dep] for dep in spec.deps}
-        path = None
-        if self.store is not None:
-            ref = self.store.save(
-                spec.kind,
-                fingerprint,
-                arrays,
-                schema_version=spec.schema_version,
-                meta=meta,
-                compress=name in _COMPRESSED_STAGES,
+            _BUILDERS[name](results)
+            arrays, meta = _PACKERS[name](results)
+            meta = dict(meta)
+            meta["__inputs__"] = {dep: hashes[dep] for dep in spec.deps}
+            path = None
+            if self.store is not None:
+                ref = self.store.save(
+                    spec.kind,
+                    fingerprint,
+                    arrays,
+                    schema_version=spec.schema_version,
+                    meta=meta,
+                    compress=name in _COMPRESSED_STAGES,
+                )
+                digest, path = ref.content_hash, ref.path
+            else:
+                digest = content_hash(arrays, meta)
+            hashes[name] = digest
+            self._log(f"stage {name}: built ({reason or 'no store'})")
+            stage_span.set_attrs(action="built", reason=reason or "miss")
+            return StageOutcome(
+                name=name,
+                fingerprint=fingerprint,
+                action="built",
+                seconds=watch.elapsed(),
+                content_hash=digest,
+                path=path,
+                reason=reason or ("no store configured" if self.store is None else "miss"),
             )
-            digest, path = ref.content_hash, ref.path
-        else:
-            digest = content_hash(arrays, meta)
-        hashes[name] = digest
-        self._log(f"stage {name}: built ({reason or 'no store'})")
-        return StageOutcome(
-            name=name,
-            fingerprint=fingerprint,
-            action="built",
-            seconds=time.perf_counter() - started,
-            content_hash=digest,
-            path=path,
-            reason=reason or ("no store configured" if self.store is None else "miss"),
-        )
 
 
 def run_stages(

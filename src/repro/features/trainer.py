@@ -18,6 +18,7 @@ from ..nn import SGD, Tensor, TinyResNet, accuracy, cross_entropy, get_default_d
 from ..nn.layers import BatchNorm2d, Module
 from ..nn.optim import CosineAnnealingLR
 from ..rng import rng_from_seed
+from ..telemetry import span
 
 
 def recalibrate_batchnorm(model: Module, images: np.ndarray, batch_size: int = 256) -> None:
@@ -144,22 +145,24 @@ class ClassifierTrainer:
             order = rng.permutation(num_samples)
             epoch_loss = 0.0
             epoch_correct = 0
-            for start in range(0, num_samples, config.batch_size):
-                batch_idx = order[start : start + config.batch_size]
-                batch_images = images[batch_idx]
-                if augmentation is not None:
-                    batch_images = augmentation(batch_images)
-                batch = Tensor(batch_images)
-                batch_labels = labels[batch_idx]
-                optimizer.zero_grad()
-                logits = self.model(batch)
-                loss = cross_entropy(
-                    logits, batch_labels, label_smoothing=config.label_smoothing
-                )
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item() * batch_idx.size
-                epoch_correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
+            with span("train.classifier.epoch", epoch=epoch) as epoch_span:
+                for start in range(0, num_samples, config.batch_size):
+                    batch_idx = order[start : start + config.batch_size]
+                    batch_images = images[batch_idx]
+                    if augmentation is not None:
+                        batch_images = augmentation(batch_images)
+                    batch = Tensor(batch_images)
+                    batch_labels = labels[batch_idx]
+                    optimizer.zero_grad()
+                    logits = self.model(batch)
+                    loss = cross_entropy(
+                        logits, batch_labels, label_smoothing=config.label_smoothing
+                    )
+                    loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss.item() * batch_idx.size
+                    epoch_correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
+                epoch_span.set_attrs(accuracy=epoch_correct / num_samples)
 
             train_accuracy = epoch_correct / num_samples
             report.train_losses.append(epoch_loss / num_samples)

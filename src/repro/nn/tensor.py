@@ -28,6 +28,8 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from ..rng import unseeded_rng
+from ..telemetry import profiler as _profiler_module
+from ..telemetry.clock import monotonic as _monotonic
 from .sanitizer import active as _sanitizer_active
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -230,6 +232,13 @@ class Tensor:
             sanitizer = _sanitizer_active()
             if sanitizer is not None:
                 sanitizer.record_op(out)
+        # The profiler sees every op, including no_grad forward passes:
+        # the op identity comes from the (unrecorded) backward closure.
+        # Read through the module attribute, not active(): this is the
+        # engine's innermost loop and a call costs more than the guard.
+        profiler = _profiler_module._PROFILER
+        if profiler is not None:
+            profiler.record_op(out, backward)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -282,12 +291,18 @@ class Tensor:
                     stack.append((parent, False))
 
         sanitizer = _sanitizer_active()
+        profiler = _profiler_module._PROFILER
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 if sanitizer is not None:
                     sanitizer.check_before_backward(node)
-                node._backward(node.grad)
+                if profiler is None:
+                    node._backward(node.grad)
+                else:
+                    started = _monotonic()
+                    node._backward(node.grad)
+                    profiler.record_backward(node._backward, _monotonic() - started)
         if not retain_graph:
             for node in topo:
                 if node._backward is not None:

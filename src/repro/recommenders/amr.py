@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from ..data.interactions import ImplicitFeedback
+from ..telemetry import span
 from .base import BPRTripletSampler, sigmoid
 from .vbpr import VBPR, VBPRConfig
 
@@ -73,12 +74,13 @@ class AMR(VBPR):
         for epoch in range(config.epochs):
             adversarial = epoch >= config.pretrain_epochs
             epoch_loss = 0.0
-            for _ in range(batches_per_epoch):
-                users, positives, negatives = sampler.sample(config.batch_size)
-                if adversarial:
-                    epoch_loss += self._update_adversarial(users, positives, negatives)
-                else:
-                    epoch_loss += self._update(users, positives, negatives)
+            with span("train.amr.epoch", epoch=epoch, adversarial=adversarial):
+                for _ in range(batches_per_epoch):
+                    users, positives, negatives = sampler.sample(config.batch_size)
+                    if adversarial:
+                        epoch_loss += self._update_adversarial(users, positives, negatives)
+                    else:
+                        epoch_loss += self._update(users, positives, negatives)
             self.loss_history.append(epoch_loss / batches_per_epoch)
         self._fitted = True
         return self

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..data.interactions import ImplicitFeedback
 from ..rng import rng_from_seed
+from ..telemetry import span
 from .base import BPRTripletSampler, Recommender, sigmoid
 
 
@@ -150,11 +151,12 @@ class VBPR(Recommender):
         config = self.config
         sampler = BPRTripletSampler(feedback, seed=config.seed + 1)
         batches_per_epoch = max(1, feedback.num_train_interactions // config.batch_size)
-        for _ in range(config.epochs):
+        for epoch in range(config.epochs):
             epoch_loss = 0.0
-            for _ in range(batches_per_epoch):
-                users, positives, negatives = sampler.sample(config.batch_size)
-                epoch_loss += self._update(users, positives, negatives)
+            with span("train.vbpr.epoch", epoch=epoch):
+                for _ in range(batches_per_epoch):
+                    users, positives, negatives = sampler.sample(config.batch_size)
+                    epoch_loss += self._update(users, positives, negatives)
             self.loss_history.append(epoch_loss / batches_per_epoch)
         self._fitted = True
         return self

@@ -57,6 +57,16 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def publish(self, registry, prefix: str = "serving.cache.lifetime") -> None:
+        """Mirror the lifetime counters into a metrics registry.
+
+        Gauges, not counters: these are point-in-time totals of the
+        cache's whole life, published when a report is assembled (the
+        live request path increments its own per-session counters).
+        """
+        for key, value in self.as_dict().items():
+            registry.gauge(f"{prefix}.{key}").set(value)
+
 
 @dataclass
 class _Entry:

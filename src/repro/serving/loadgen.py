@@ -30,7 +30,6 @@ shift.  ``python -m repro serve-bench`` and
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -42,6 +41,7 @@ from ..core.scenarios import make_scenario
 from ..experiments.config import men_config
 from ..experiments.context import build_context
 from ..rng import rng_from_seed
+from ..telemetry import active_metrics, monotonic, span
 from .service import RecommenderService
 
 
@@ -99,12 +99,21 @@ class PhaseStats:
 def measure_phase(service: RecommenderService, name: str, users: np.ndarray) -> PhaseStats:
     """Serve ``users`` one request at a time, timing each."""
     latencies = np.empty(users.shape[0], dtype=np.float64)
-    start = time.perf_counter()
-    for idx, user in enumerate(users):
-        t0 = time.perf_counter()
-        service.recommend(int(user))
-        latencies[idx] = time.perf_counter() - t0
-    wall = time.perf_counter() - start
+    registry = active_metrics()
+    phase_histogram = (
+        registry.histogram(f"serving.phase.{name}.latency_ms")
+        if registry is not None
+        else None
+    )
+    with span("serving.phase", phase=name, requests=int(users.shape[0])):
+        start = monotonic()
+        for idx, user in enumerate(users):
+            t0 = monotonic()
+            service.recommend(int(user))
+            latencies[idx] = monotonic() - t0
+            if phase_histogram is not None:
+                phase_histogram.record(1e3 * latencies[idx])
+        wall = monotonic() - start
     p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
     return PhaseStats(
         name=name,
@@ -257,6 +266,11 @@ def run_serving_bench(
             "warm_vs_cold_throughput": warm.throughput_rps / cold.throughput_rps,
         },
     }
+
+    registry = active_metrics()
+    if registry is not None:
+        service.publish_metrics(registry)
+        payload["metrics"] = registry.snapshot()
 
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:

@@ -31,6 +31,7 @@ import numpy as np
 from ..data.interactions import ImplicitFeedback
 from ..features.extractor import FeatureExtractor
 from ..recommenders.base import Recommender
+from ..telemetry import active_metrics, monotonic, span
 from .index import TopNCache
 from .scorer import IncrementalScorer
 
@@ -280,6 +281,18 @@ class RecommenderService:
         items = head[order]
         return items, scores[items]
 
+    def _serve(self, user: int, n: int) -> tuple:
+        """The unmeasured request path; returns ``(served, cache_hit)``."""
+        items = self.index.get(user)
+        hit = items is not None
+        if not hit:
+            items, scores = self._compute_entry(user)
+            self.index.put(user, items, scores)
+        served = items[:n]
+        if self.monitor is not None:
+            self.monitor.observe(served)
+        return served, hit
+
     def recommend(self, user: int, n: Optional[int] = None) -> np.ndarray:
         """Top-``n`` items for ``user``, best first (cached).
 
@@ -293,13 +306,15 @@ class RecommenderService:
         user = int(user)
         if not 0 <= user < self.recommender.num_users:
             raise ValueError(f"user must lie in [0, {self.recommender.num_users})")
-        items = self.index.get(user)
-        if items is None:
-            items, scores = self._compute_entry(user)
-            self.index.put(user, items, scores)
-        served = items[:n]
-        if self.monitor is not None:
-            self.monitor.observe(served)
+        registry = active_metrics()
+        if registry is None:
+            return self._serve(user, n)[0]
+        started = monotonic()
+        served, hit = self._serve(user, n)
+        registry.histogram("serving.recommend.latency_ms").record(
+            1e3 * (monotonic() - started)
+        )
+        registry.counter("serving.cache.hits" if hit else "serving.cache.misses").inc()
         return served
 
     def recommend_batch(self, user_ids, n: Optional[int] = None) -> np.ndarray:
@@ -314,17 +329,25 @@ class RecommenderService:
     def push_item_features(self, item_ids, item_features) -> UpdateReport:
         """Swap item features and surgically invalidate affected lists."""
         item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
-        cached = self.index.cached_users()
-        changed = self.scorer.update_item_features(item_ids, item_features)
-        report = UpdateReport(
-            item_ids=item_ids, scores_changed=changed, cached_users=len(cached)
-        )
-        if changed and cached:
-            new_columns = self.scorer.score_items(cached, item_ids)
-            report.invalidated_users = self.index.apply_update(
-                cached, item_ids, new_columns
+        with span("serving.push_item_features", items=int(item_ids.size)) as push_span:
+            cached = self.index.cached_users()
+            changed = self.scorer.update_item_features(item_ids, item_features)
+            report = UpdateReport(
+                item_ids=item_ids, scores_changed=changed, cached_users=len(cached)
             )
-        return report
+            if changed and cached:
+                new_columns = self.scorer.score_items(cached, item_ids)
+                report.invalidated_users = self.index.apply_update(
+                    cached, item_ids, new_columns
+                )
+            push_span.set_attrs(invalidated=report.num_invalidated)
+            registry = active_metrics()
+            if registry is not None:
+                registry.counter("serving.updates.pushed_items").inc(int(item_ids.size))
+                registry.counter("serving.updates.invalidated_users").inc(
+                    report.num_invalidated
+                )
+            return report
 
     def push_attacked_images(self, item_ids, images: np.ndarray) -> UpdateReport:
         """The deployed-system attack surface: new images for ``item_ids``.
@@ -338,11 +361,12 @@ class RecommenderService:
                 "push_attacked_images requires an extractor; build the service "
                 "with one (or via from_pipeline)"
             )
-        raw = self.extractor.model.extract_features(
-            np.asarray(images), batch_size=self.extractor.batch_size
-        )
-        features = self.extractor.transform_raw_features(raw)
-        return self.push_item_features(item_ids, features)
+        with span("serving.push_attacked_images", items=int(np.size(item_ids))):
+            raw = self.extractor.model.extract_features(
+                np.asarray(images), batch_size=self.extractor.batch_size
+            )
+            features = self.extractor.transform_raw_features(raw)
+            return self.push_item_features(item_ids, features)
 
     # ------------------------------------------------------------------ #
     @property
@@ -351,3 +375,11 @@ class RecommenderService:
         payload = self.index.stats.as_dict()
         payload["feature_updates"] = self.scorer.feature_updates
         return payload
+
+    def publish_metrics(self, registry) -> None:
+        """Mirror lifetime cache/scorer state into a metrics registry."""
+        self.index.stats.publish(registry)
+        registry.gauge("serving.cache.size").set(len(self.index))
+        registry.gauge("serving.scorer.feature_updates").set(
+            self.scorer.feature_updates
+        )

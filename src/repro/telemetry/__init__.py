@@ -1,0 +1,73 @@
+"""Unified observability layer: spans, metrics, and the autograd profiler.
+
+Three collectors behind one zero-overhead-when-disabled seam:
+
+* :func:`span` — nestable tracing spans exported as JSON-lines or
+  Chrome ``chrome://tracing`` format (:mod:`repro.telemetry.spans`);
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket latency
+  histograms snapshotted into manifests and bench JSON
+  (:mod:`repro.telemetry.metrics`);
+* :class:`OpProfiler` — per-op-type counts/wall-time/bytes from the
+  autograd engine's ``_make``/``backward`` seams
+  (:mod:`repro.telemetry.profiler`).
+
+:func:`telemetry_session` engages any combination for one run.  With no
+collector installed every instrumented path degrades to a global read,
+so instrumentation lives permanently on the hot paths.
+"""
+
+from .clock import Stopwatch, monotonic
+from .metrics import (
+    DEFAULT_LATENCY_EDGES_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    format_metrics,
+    install_metrics,
+)
+from .profiler import (
+    OpProfiler,
+    OpStats,
+    active_profiler,
+    format_hot_ops,
+    install_profiler,
+    profile,
+)
+from .session import TelemetrySession, telemetry_session
+from .spans import (
+    SpanRecord,
+    TraceRecorder,
+    active_recorder,
+    install_recorder,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "monotonic",
+    "Stopwatch",
+    "span",
+    "SpanRecord",
+    "TraceRecorder",
+    "active_recorder",
+    "install_recorder",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES_MS",
+    "active_metrics",
+    "install_metrics",
+    "format_metrics",
+    "OpProfiler",
+    "OpStats",
+    "active_profiler",
+    "install_profiler",
+    "profile",
+    "format_hot_ops",
+    "TelemetrySession",
+    "telemetry_session",
+]

@@ -1,0 +1,48 @@
+"""The one clock every measurement in the repo reads.
+
+Manifest timings, benchmark wall times, serving latencies, span
+durations and the op profiler all used to call ``time.perf_counter()``
+ad hoc; three call sites disagreeing about *what* they time makes the
+numbers incomparable.  This module is the single sanctioned entry point
+to the monotonic clock — lint rule RPR006 flags any raw ``time.time()``
+or ``time.perf_counter()`` call outside ``repro.telemetry``.
+
+:func:`monotonic` is a direct alias of :func:`time.perf_counter` (no
+wrapper frame), so instrumented hot paths pay exactly one C call per
+reading.  :class:`Stopwatch` is the convenience form for
+start/stop-style timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "Stopwatch"]
+
+#: Monotonic high-resolution clock, in seconds.  An alias, not a wrapper:
+#: calling it costs the same as calling ``time.perf_counter`` directly.
+monotonic = time.perf_counter
+
+
+class Stopwatch:
+    """Start/stop timer over :func:`monotonic`.
+
+    ``Stopwatch()`` starts immediately; :meth:`elapsed` reads without
+    stopping, :meth:`restart` rebases.
+    """
+
+    __slots__ = ("started",)
+
+    def __init__(self) -> None:
+        self.started = monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return monotonic() - self.started
+
+    def restart(self) -> float:
+        """Rebase the stopwatch; returns the elapsed seconds up to now."""
+        now = monotonic()
+        elapsed = now - self.started
+        self.started = now
+        return elapsed

@@ -1,0 +1,241 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+Counters accumulate monotonically (requests served, cache hits), gauges
+hold the latest value (hit rate, accuracy), and histograms bin samples
+into fixed buckets with approximate percentiles — the p50/p95/p99 the
+serving benchmark reports.  A :class:`MetricsRegistry` owns the metrics
+by name; :meth:`MetricsRegistry.snapshot` serializes the whole registry
+into run manifests and bench JSON.
+
+Like the span layer, the registry is engaged per run: instrumented code
+asks :func:`active_metrics` and skips recording entirely when telemetry
+is off, so the request path and the op loop carry no measurement cost
+by default.
+
+The histogram is *fixed-bucket* deliberately: recording is O(log B) and
+memory is O(B) regardless of sample count, so a million-request load
+test costs the same as a hundred.  Percentiles are reconstructed by
+linear interpolation inside the bucket that crosses the target rank —
+exact to within one bucket width, which the default latency edges keep
+below ~20% relative error across nine orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES_MS",
+    "active_metrics",
+    "install_metrics",
+    "format_metrics",
+]
+
+#: Geometric latency buckets, ~1.78x apart, spanning 1 µs to 100 s (in ms).
+DEFAULT_LATENCY_EDGES_MS: Tuple[float, ...] = tuple(
+    10.0 ** (exponent / 4.0) for exponent in range(-12, 21)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge for levels")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins level (hit rate, accuracy, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``edges`` are the strictly increasing bucket upper bounds; bucket
+    ``i`` counts samples in ``(edges[i-1], edges[i]]``, with an implicit
+    underflow bucket below ``edges[0]`` and overflow above ``edges[-1]``
+    (bounded by the observed min/max for interpolation).
+    """
+
+    __slots__ = ("name", "edges", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS) -> None:
+        edges = [float(edge) for edge in edges]
+        if len(edges) < 2:
+            raise ValueError("histogram needs at least two bucket edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.edges: List[float] = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (linear within the bucket).
+
+        Accurate to one bucket width; the exact sample extremes are used
+        to bound the open underflow/overflow buckets.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                low = self.edges[index - 1] if index > 0 else self.min
+                high = self.edges[index] if index < len(self.edges) else self.max
+                low = max(low, self.min)
+                high = min(high, self.max)
+                if high <= low:
+                    return low
+                fraction = (target - cumulative) / bucket_count
+                return low + fraction * (high - low)
+            cumulative += bucket_count
+        return self.max
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics; snapshot-serializable."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self._metrics[name] = factory()
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric '{name}' already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_MS
+    ) -> Histogram:
+        # Edges bind on first registration; later callers share the metric.
+        return self._get_or_create(name, lambda: Histogram(name, edges), Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-serializable view of every metric, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.as_dict() for name, metric in items}
+
+
+_METRICS: Optional[MetricsRegistry] = None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The registry currently collecting, or ``None`` (telemetry off)."""
+    return _METRICS
+
+
+def install_metrics(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install (or clear, with ``None``) the registry; returns the previous."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry
+    return previous
+
+
+def format_metrics(registry: MetricsRegistry) -> str:
+    """Human-readable metric table (the snapshot's sibling)."""
+    snapshot = registry.snapshot()
+    if not snapshot:
+        return "no metrics recorded"
+    lines = [f"{'metric':44s} {'type':10s} value"]
+    for name, payload in snapshot.items():
+        if payload["type"] == "histogram":
+            value = (
+                f"n={payload['count']} mean={payload['mean']:.4g} "
+                f"p50={payload['p50']:.4g} p95={payload['p95']:.4g} "
+                f"p99={payload['p99']:.4g}"
+            )
+        else:
+            value = f"{payload['value']:g}"
+        lines.append(f"{name:44s} {payload['type']:10s} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Telemetry session: one switch engaging tracing, metrics and profiling.
+
+The CLI (and tests) should not juggle three install/restore pairs.
+:func:`telemetry_session` turns on whichever collectors a run asked for,
+hands back a :class:`TelemetrySession` holding them, and restores the
+previous global state on exit — exception-safe, nestable, and a no-op
+for every collector left disabled.
+
+The session object stays alive after the ``with`` block, so callers can
+write the trace and print reports *after* the measured work finished::
+
+    with telemetry_session(trace=True, profile=True) as session:
+        runner.run(...)
+    session.recorder.write_chrome_trace("trace.json")
+    print(format_hot_ops(session.profiler))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .metrics import MetricsRegistry, active_metrics, install_metrics
+from .profiler import OpProfiler, active_profiler, install_profiler
+from .spans import TraceRecorder, active_recorder, install_recorder
+
+__all__ = ["TelemetrySession", "telemetry_session", "current_report"]
+
+
+class TelemetrySession:
+    """The collectors engaged for one run (``None`` where disabled)."""
+
+    __slots__ = ("recorder", "metrics", "profiler")
+
+    def __init__(
+        self,
+        recorder: Optional[TraceRecorder],
+        metrics: Optional[MetricsRegistry],
+        profiler: Optional[OpProfiler],
+    ) -> None:
+        self.recorder = recorder
+        self.metrics = metrics
+        self.profiler = profiler
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.recorder is not None
+            or self.metrics is not None
+            or self.profiler is not None
+        )
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-serializable summary of everything collected.
+
+        The shape embedded into run manifests and bench payloads:
+        ``metrics`` (registry snapshot), ``hot_ops`` (profiler table),
+        ``span_count`` — whichever collectors were engaged.
+        """
+        payload: Dict[str, Any] = {}
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.snapshot()
+        if self.profiler is not None:
+            payload["hot_ops"] = self.profiler.snapshot()
+        if self.recorder is not None:
+            payload["span_count"] = len(self.recorder.spans)
+        return payload
+
+
+def current_report() -> Optional[Dict[str, Any]]:
+    """Report over whatever collectors are installed right now, or ``None``.
+
+    Lets code that did not open the session (e.g. the run-manifest
+    writer) embed the telemetry of the session it happens to run inside.
+    """
+    session = TelemetrySession(active_recorder(), active_metrics(), active_profiler())
+    return session.report() if session.enabled else None
+
+
+@contextmanager
+def telemetry_session(
+    trace: bool = False,
+    metrics: bool = False,
+    profile: bool = False,
+) -> Iterator[TelemetrySession]:
+    """Engage the requested collectors for the enclosed block.
+
+    Each flag installs a fresh collector; previous installations are
+    restored on exit (so sessions nest, innermost winning).  With all
+    flags false the yielded session is inert and nothing is installed.
+    """
+    session = TelemetrySession(
+        recorder=TraceRecorder() if trace else None,
+        metrics=MetricsRegistry() if metrics else None,
+        profiler=OpProfiler() if profile else None,
+    )
+    previous_recorder = install_recorder(session.recorder) if trace else None
+    previous_metrics = install_metrics(session.metrics) if metrics else None
+    previous_profiler = install_profiler(session.profiler) if profile else None
+    try:
+        yield session
+    finally:
+        if profile:
+            install_profiler(previous_profiler)
+        if metrics:
+            install_metrics(previous_metrics)
+        if trace:
+            install_recorder(previous_recorder)

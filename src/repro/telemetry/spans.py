@@ -1,0 +1,266 @@
+"""Tracing core: nestable spans over a thread-local span stack.
+
+A *span* is one timed region of the run — a pipeline stage, an ε×attack
+grid cell, a served request.  Spans nest: entering a span pushes its id
+onto a per-thread stack, so every record carries its parent and the
+exported trace reconstructs the full call tree.
+
+Design constraints, in order:
+
+* **Zero overhead when disabled.**  ``span(...)`` with no recorder
+  installed returns a shared no-op singleton — no allocation, no clock
+  reading, no stack touch.  Instrumentation can therefore live
+  permanently on hot paths (``StageRunner``, ``attack_category``, the
+  serving request loop) without a guard at every call site.
+* **Exception-safe close.**  A span records on ``__exit__`` even when
+  the body raises (the record carries ``error=<exception type>``), and
+  closing a span unwinds any abandoned children still on the stack, so
+  one leaked inner span cannot corrupt the tree for the rest of the run.
+* **Two export formats.**  JSON-lines (one span per line, trivially
+  greppable) and the Chrome trace-event format loadable straight into
+  ``chrome://tracing`` / Perfetto (complete ``"ph": "X"`` events with
+  microsecond timestamps).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .clock import monotonic
+
+__all__ = [
+    "SpanRecord",
+    "TraceRecorder",
+    "span",
+    "active_recorder",
+    "install_recorder",
+    "tracing",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: timing, tree position and attributes."""
+
+    name: str
+    start: float  # seconds since the recorder's origin
+    duration: float  # seconds
+    span_id: int
+    parent_id: Optional[int]
+    thread_id: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None  # exception type name when the body raised
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "attrs": self.attrs,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class TraceRecorder:
+    """Collects completed spans; thread-safe; exports JSONL and Chrome.
+
+    Span *starts* are tracked on a per-thread stack (no lock on the
+    enter path); completed records are appended under a lock.
+    """
+
+    def __init__(self) -> None:
+        self.origin = monotonic()
+        self.spans: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+
+    # -- span bookkeeping ----------------------------------------------- #
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- exporters ------------------------------------------------------ #
+    def as_jsonl(self) -> str:
+        """One JSON object per line, in completion order."""
+        return "\n".join(
+            json.dumps(record.as_dict(), sort_keys=True, default=str)
+            for record in self.spans
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.as_jsonl()
+            if text:
+                handle.write(text + "\n")
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The ``chrome://tracing`` JSON object (complete "X" events)."""
+        events = []
+        for record in self.spans:
+            args = {key: _json_safe(value) for key, value in record.attrs.items()}
+            if record.error is not None:
+                args["error"] = record.error
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": record.name.split(".")[0].split(":")[0],
+                    "ph": "X",
+                    "ts": record.start * 1e6,  # microseconds
+                    "dur": record.duration * 1e6,
+                    "pid": os.getpid(),
+                    "tid": record.thread_id,
+                    "args": args,
+                }
+            )
+        # chrome://tracing renders identically either way, but sorting by
+        # start time makes the file diffable across runs.
+        events.sort(key=lambda event: (event["ts"], -event["dur"]))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=2, default=str)
+
+    def write(self, path: str) -> None:
+        """Write by extension: ``.jsonl`` → JSON-lines, else Chrome trace."""
+        if path.endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome_trace(path)
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attrs(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times the ``with`` body and records on exit."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, recorder: TraceRecorder, name: str, attrs: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def set_attrs(self, **attrs: Any) -> None:
+        """Attach attributes discovered inside the body (hit vs built, …)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        recorder = self._recorder
+        stack = recorder._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = recorder.allocate_id()
+        stack.append(self.span_id)
+        self._start = monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = monotonic()
+        recorder = self._recorder
+        stack = recorder._stack()
+        # Unwind abandoned children (an inner span whose __exit__ never
+        # ran) so the stack stays consistent for subsequent spans.
+        while stack and stack.pop() != self.span_id:
+            pass
+        recorder.record(
+            SpanRecord(
+                name=self.name,
+                start=self._start - recorder.origin,
+                duration=end - self._start,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=threading.get_ident(),
+                attrs=self.attrs,
+                error=None if exc_type is None else exc_type.__name__,
+            )
+        )
+        return False
+
+
+_RECORDER: Optional[TraceRecorder] = None
+
+
+def span(name: str, **attrs: Any):
+    """Context manager timing one named region.
+
+    With no recorder installed this returns a shared no-op object —
+    the disabled cost is one global read and the kwargs dict.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return _NULL_SPAN
+    return _Span(recorder, name, attrs)
+
+
+def active_recorder() -> Optional[TraceRecorder]:
+    """The recorder currently collecting spans, or ``None``."""
+    return _RECORDER
+
+
+def install_recorder(recorder: Optional[TraceRecorder]) -> Optional[TraceRecorder]:
+    """Install (or clear, with ``None``) the recorder; returns the previous."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+@contextmanager
+def tracing(recorder: Optional[TraceRecorder] = None) -> Iterator[TraceRecorder]:
+    """Collect spans for the enclosed block; restores the previous recorder."""
+    current = recorder if recorder is not None else TraceRecorder()
+    previous = install_recorder(current)
+    try:
+        yield current
+    finally:
+        install_recorder(previous)

@@ -1,0 +1,35 @@
+"""RPR006 fixture — raw time-module timing outside repro.telemetry.
+
+Never imported; parsed by the lint self-tests.
+"""
+
+import time
+from time import perf_counter as tick
+
+
+def measure(fn):
+    started = time.perf_counter()  # VIOLATION: raw clock read, not telemetry
+    fn()
+    return time.perf_counter() - started  # VIOLATION: second raw read
+
+
+def wall_clock():
+    return time.time()  # VIOLATION: wall clock is not even monotonic
+
+
+def renamed_import():
+    return tick()  # VIOLATION: from-import spelling, renamed
+
+
+def nanoseconds():
+    return time.monotonic_ns()  # VIOLATION: _ns variants count too
+
+
+def sanctioned():
+    # The escape hatch: an audited exception carries the pragma.
+    return time.monotonic()  # lint: disable=RPR006
+
+
+def not_a_clock_read():
+    time.sleep(0.0)  # sleeping is fine; only timing reads are flagged
+    return time.struct_time

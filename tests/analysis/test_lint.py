@@ -36,13 +36,14 @@ def _marked_lines(path: Path):
 
 
 class TestRuleRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         assert [rule.id for rule in ALL_RULES] == [
             "RPR001",
             "RPR002",
             "RPR003",
             "RPR004",
             "RPR005",
+            "RPR006",
         ]
 
     def test_every_rule_has_explanation(self):
@@ -60,6 +61,7 @@ class TestFixturesFireExactly:
             ("rpr002.py", "RPR002"),
             ("rpr004.py", "RPR004"),
             ("rpr005.py", "RPR005"),
+            ("rpr006.py", "RPR006"),
         ],
     )
     def test_fixture_hits_marked_lines_only(self, fixture, rule):
@@ -136,7 +138,8 @@ class TestCli:
         assert "clean" in capsys.readouterr().out
 
     @pytest.mark.parametrize(
-        "fixture", ["rpr001.py", "rpr002.py", "rpr003_stages.py", "rpr004.py", "rpr005.py"]
+        "fixture",
+        ["rpr001.py", "rpr002.py", "rpr003_stages.py", "rpr004.py", "rpr005.py", "rpr006.py"],
     )
     def test_each_fixture_fails_the_cli(self, fixture, capsys):
         assert cli_main(["lint", str(FIXTURES / fixture)]) == 1

@@ -1,0 +1,183 @@
+"""Tests for the metrics registry (repro.telemetry.metrics) and the
+telemetry session switch.
+
+The load-bearing check: fixed-bucket histogram percentiles must agree
+with ``np.percentile`` to within one bucket width.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.rng import rng_from_seed
+from repro.telemetry import (
+    DEFAULT_LATENCY_EDGES_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    format_metrics,
+    install_metrics,
+    telemetry_session,
+)
+from repro.telemetry.session import current_report
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.as_dict() == {"type": "counter", "value": 5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="Gauge"):
+            Counter("requests").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("hit_rate")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.as_dict() == {"type": "gauge", "value": 0.75}
+
+
+class TestHistogram:
+    def test_percentiles_match_numpy_within_bucket_width(self):
+        # Fine uniform edges: interpolation error is bounded by one
+        # bucket width (0.05 ms here), so the comparison is tight.
+        edges = np.linspace(0.0, 100.0, 2001)
+        histogram = Histogram("latency", edges=edges)
+        samples = rng_from_seed(7).uniform(0.0, 100.0, size=5000)
+        for sample in samples:
+            histogram.record(float(sample))
+        bucket_width = float(edges[1] - edges[0])
+        for q in (50.0, 95.0, 99.0):
+            exact = float(np.percentile(samples, q))
+            assert histogram.percentile(q) == pytest.approx(exact, abs=2 * bucket_width)
+
+    def test_percentiles_on_lognormal_default_edges(self):
+        # The shipped geometric edges keep relative error under ~20%
+        # across the skewed latency-like distribution they exist for.
+        histogram = Histogram("latency")
+        samples = np.exp(rng_from_seed(3).normal(0.0, 1.0, size=4000))  # ~[0.03, 30] ms
+        for sample in samples:
+            histogram.record(float(sample))
+        for q in (50.0, 95.0, 99.0):
+            exact = float(np.percentile(samples, q))
+            assert histogram.percentile(q) == pytest.approx(exact, rel=0.20)
+
+    def test_count_sum_min_max_mean_are_exact(self):
+        histogram = Histogram("h", edges=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0, 9.0):
+            histogram.record(value)
+        payload = histogram.as_dict()
+        assert payload["count"] == 4
+        assert payload["sum"] == pytest.approx(14.0)
+        assert payload["mean"] == pytest.approx(3.5)
+        assert payload["min"] == 0.5 and payload["max"] == 9.0
+
+    def test_under_and_overflow_bounded_by_observed_extremes(self):
+        histogram = Histogram("h", edges=[10.0, 20.0])
+        histogram.record(2.0)  # underflow bucket
+        histogram.record(100.0)  # overflow bucket
+        assert histogram.percentile(0.0) >= 2.0
+        assert histogram.percentile(100.0) == 100.0
+
+    def test_single_sample(self):
+        histogram = Histogram("h", edges=[1.0, 2.0])
+        histogram.record(1.5)
+        for q in (0.0, 50.0, 100.0):
+            assert 1.5 == pytest.approx(histogram.percentile(q), abs=0.5)
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h", edges=[1.0, 2.0])
+        assert histogram.percentile(50.0) == 0.0
+        payload = histogram.as_dict()
+        assert payload["count"] == 0
+        assert payload["min"] is None and payload["max"] is None
+
+    def test_invalid_edges_and_quantiles_raise(self):
+        with pytest.raises(ValueError, match="two bucket edges"):
+            Histogram("h", edges=[1.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=[1.0, 1.0, 2.0])
+        histogram = Histogram("h", edges=[1.0, 2.0])
+        with pytest.raises(ValueError, match="0, 100"):
+            histogram.percentile(101.0)
+
+    def test_default_edges_span_microseconds_to_seconds(self):
+        edges = DEFAULT_LATENCY_EDGES_MS
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+        assert edges[0] == pytest.approx(1e-3)  # 1 µs in ms
+        assert edges[-1] == pytest.approx(1e5)  # 100 s in ms
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("lat") is registry.histogram("lat")
+        assert len(registry) == 2 and "a" in registry and "b" not in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered as Counter"):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("c.latency_ms").record(3.0)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert list(snapshot) == ["a.level", "b.count", "c.latency_ms"]
+        assert snapshot["b.count"]["value"] == 2
+        assert snapshot["c.latency_ms"]["p50"] == pytest.approx(3.0, rel=0.25)
+
+    def test_format_metrics(self):
+        registry = MetricsRegistry()
+        assert format_metrics(registry) == "no metrics recorded"
+        registry.counter("serving.cache.hits").inc(3)
+        registry.histogram("serving.recommend.latency_ms").record(1.0)
+        rendered = format_metrics(registry)
+        assert "serving.cache.hits" in rendered
+        assert "p95" in rendered
+
+
+class TestSession:
+    def test_disabled_session_installs_nothing(self):
+        with telemetry_session() as session:
+            assert not session.enabled
+            assert active_metrics() is None
+            assert current_report() is None
+        assert session.report() == {}
+
+    def test_session_installs_and_restores(self):
+        assert active_metrics() is None
+        with telemetry_session(metrics=True, trace=True, profile=True) as session:
+            assert active_metrics() is session.metrics
+            session.metrics.counter("seen").inc()
+        assert active_metrics() is None
+        assert session.report()["metrics"]["seen"]["value"] == 1
+        assert session.report()["span_count"] == 0
+        assert session.report()["hot_ops"] == []
+
+    def test_sessions_nest_innermost_winning(self):
+        with telemetry_session(metrics=True) as outer:
+            with telemetry_session(metrics=True) as inner:
+                assert active_metrics() is inner.metrics
+            assert active_metrics() is outer.metrics
+
+    def test_current_report_reads_installed_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        previous = install_metrics(registry)
+        try:
+            report = current_report()
+        finally:
+            install_metrics(previous)
+        assert report == {"metrics": {"c": {"type": "counter", "value": 7}}}

@@ -1,0 +1,175 @@
+"""Tests for the autograd op profiler (repro.telemetry.profiler).
+
+Op-count accuracy on a known graph, no_grad visibility, byte
+accounting, hot-op ordering — and the meta-property inherited from the
+sanitizer: profiled FGSM/PGD attacks are bitwise identical to
+unprofiled ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, PGD
+from repro.nn import Tensor, TinyResNet
+from repro.nn.tensor import no_grad
+from repro.rng import rng_from_seed
+from repro.telemetry import (
+    OpProfiler,
+    active_profiler,
+    format_hot_ops,
+    install_profiler,
+    profile,
+    telemetry_session,
+)
+from repro.telemetry.profiler import _op_name_from_qualname
+
+
+def _f32(shape, seed=0):
+    return rng_from_seed(seed).random(shape).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def model():
+    net = TinyResNet(num_classes=4, widths=(4, 8), blocks_per_stage=(1, 1), seed=3)
+    net.eval()
+    return net
+
+
+def _stats_by_op(profiler):
+    return {stat.op: stat for stat in profiler.table()}
+
+
+class TestOpCounts:
+    def test_known_graph_counts_exactly(self):
+        with profile() as profiler:
+            x = Tensor(_f32((4,)), requires_grad=True)
+            y = x * x
+            z = y + y
+            loss = z.sum()
+            loss.backward()
+        stats = _stats_by_op(profiler)
+        assert stats["__mul__"].calls == 1
+        assert stats["__add__"].calls == 1
+        assert stats["sum"].calls == 1
+        assert stats["__mul__"].backward_calls == 1
+        assert stats["__add__"].backward_calls == 1
+        assert stats["sum"].backward_calls == 1
+        assert profiler.total_ops == 3
+
+    def test_no_grad_forward_ops_are_counted(self):
+        with profile() as profiler:
+            x = Tensor(_f32((4,)))
+            with no_grad():
+                (x * x).sum()
+        stats = _stats_by_op(profiler)
+        assert stats["__mul__"].calls == 1
+        assert stats["sum"].calls == 1
+        assert stats["sum"].backward_calls == 0
+
+    def test_output_bytes_exact(self):
+        with profile() as profiler:
+            x = Tensor(_f32((8,)), requires_grad=True)
+            y = x * x  # float32 (8,) -> 32 bytes
+            y.sum()  # float32 scalar -> 4 bytes
+        stats = _stats_by_op(profiler)
+        assert stats["__mul__"].output_bytes == 32
+        assert stats["sum"].output_bytes == 4
+
+    def test_backward_seconds_accumulate_exactly(self):
+        profiler = OpProfiler()
+
+        def backward(grad):  # stands in for an engine closure
+            pass
+
+        profiler.record_backward(backward, 0.25)
+        profiler.record_backward(backward, 0.50)
+        stats = _stats_by_op(profiler)
+        # Closures are attributed to their enclosing function — here the
+        # test itself plays the role of the op that built the closure.
+        op = "test_backward_seconds_accumulate_exactly"
+        assert stats[op].backward_calls == 2
+        assert stats[op].backward_s == pytest.approx(0.75)
+
+    def test_leaf_label_for_none(self):
+        assert _op_name_from_qualname(None) == "<leaf>"
+
+
+class TestReporting:
+    def test_table_sorted_hottest_first(self):
+        profiler = OpProfiler()
+        for op, seconds in (("cool", 0.1), ("hot", 3.0), ("warm", 1.0)):
+            stat = profiler._stat(op)
+            stat.calls = 1
+            stat.forward_s = seconds
+        assert [stat.op for stat in profiler.table()] == ["hot", "warm", "cool"]
+
+    def test_snapshot_round_trips_to_json(self):
+        import json
+
+        with profile() as profiler:
+            x = Tensor(_f32((4,)), requires_grad=True)
+            (x * x).sum().backward()
+        snapshot = json.loads(json.dumps(profiler.snapshot()))
+        assert {row["op"] for row in snapshot} == {"__mul__", "sum"}
+        for row in snapshot:
+            assert row["total_s"] == pytest.approx(
+                row["forward_s"] + row["backward_s"]
+            )
+
+    def test_format_hot_ops(self):
+        with profile() as profiler:
+            x = Tensor(_f32((4,)), requires_grad=True)
+            (x * x).sum().backward()
+        rendered = format_hot_ops(profiler)
+        assert "op" in rendered and "bwd calls" in rendered
+        assert "__mul__" in rendered and "sum" in rendered
+        assert "2 op(s) across 2 type(s)" in rendered
+
+    def test_format_hot_ops_empty(self):
+        assert format_hot_ops(OpProfiler()) == "no autograd ops recorded"
+
+
+class TestInstallation:
+    def test_profile_nests_and_restores(self):
+        assert active_profiler() is None
+        with profile() as outer:
+            assert active_profiler() is outer
+            with profile() as inner:
+                assert active_profiler() is inner
+            assert active_profiler() is outer
+        assert active_profiler() is None
+
+    def test_install_returns_previous(self):
+        profiler = OpProfiler()
+        assert install_profiler(profiler) is None
+        assert install_profiler(None) is profiler
+
+    def test_session_profile_flag_engages_profiler(self):
+        with telemetry_session(profile=True) as session:
+            x = Tensor(_f32((4,)), requires_grad=True)
+            (x * x).sum().backward()
+        hot_ops = session.report()["hot_ops"]
+        assert {row["op"] for row in hot_ops} == {"__mul__", "sum"}
+
+
+class TestAttacksUnderProfiler:
+    """Profiled FGSM/PGD must be bitwise identical to unprofiled runs."""
+
+    def test_fgsm_bitwise_identical(self, model):
+        images = _f32((5, 3, 16, 16), seed=1)
+        plain = FGSM(model, epsilon=0.03).attack(images, target_class=1)
+        with profile() as profiler:
+            profiled = FGSM(model, epsilon=0.03).attack(images, target_class=1)
+        assert plain.adversarial_images.tobytes() == profiled.adversarial_images.tobytes()
+        assert profiler.total_ops > 0
+        stats = _stats_by_op(profiler)
+        assert stats["conv2d"].backward_calls > 0
+
+    def test_pgd_bitwise_identical(self, model):
+        images = _f32((4, 3, 16, 16), seed=2)
+        plain = PGD(model, 0.03, num_steps=3, seed=0).attack(images, target_class=2)
+        with profile():
+            profiled = PGD(model, 0.03, num_steps=3, seed=0).attack(
+                images, target_class=2
+            )
+        assert plain.adversarial_images.tobytes() == profiled.adversarial_images.tobytes()

@@ -1,0 +1,230 @@
+"""Tests for the tracing core (repro.telemetry.spans).
+
+Covers span nesting (parent ids), exception-safe close with abandoned-
+child unwinding, the zero-overhead null span when disabled, and both
+exporters — JSON-lines and the Chrome trace-event schema.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    TraceRecorder,
+    active_recorder,
+    install_recorder,
+    span,
+    tracing,
+)
+from repro.telemetry.spans import _NULL_SPAN
+
+
+class TestDisabled:
+    def test_span_without_recorder_is_shared_null_singleton(self):
+        assert active_recorder() is None
+        first = span("anything", key="value")
+        second = span("other")
+        assert first is second is _NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("untraced") as untraced:
+            untraced.set_attrs(ignored=1)  # must not raise
+        assert active_recorder() is None
+
+
+class TestNesting:
+    def test_parent_ids_reconstruct_the_tree(self):
+        with tracing() as recorder:
+            with span("outer"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        by_name = {record.name: record for record in recorder.spans}
+        outer = by_name["outer"]
+        assert outer.parent_id is None
+        assert by_name["inner.a"].parent_id == outer.span_id
+        assert by_name["inner.b"].parent_id == outer.span_id
+        # Completion order: children close before their parent.
+        assert [r.name for r in recorder.spans] == ["inner.a", "inner.b", "outer"]
+
+    def test_span_ids_are_unique(self):
+        with tracing() as recorder:
+            for _ in range(5):
+                with span("leaf"):
+                    pass
+        ids = [record.span_id for record in recorder.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_durations_nest(self):
+        with tracing() as recorder:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        by_name = {record.name: record for record in recorder.spans}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert 0.0 <= inner.duration <= outer.duration
+        assert outer.start <= inner.start
+
+    def test_thread_id_recorded(self):
+        with tracing() as recorder:
+            with span("here"):
+                pass
+        assert recorder.spans[0].thread_id == threading.get_ident()
+
+    def test_sibling_threads_do_not_share_a_stack(self):
+        with tracing() as recorder:
+            with span("main.outer"):
+                worker_done = threading.Event()
+
+                def worker():
+                    with span("worker.span"):
+                        pass
+                    worker_done.set()
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+                assert worker_done.is_set()
+        by_name = {record.name: record for record in recorder.spans}
+        # The worker's span must not adopt the main thread's open span.
+        assert by_name["worker.span"].parent_id is None
+
+
+class TestExceptionSafety:
+    def test_body_exception_records_error_and_propagates(self):
+        with tracing() as recorder:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        record = recorder.spans[0]
+        assert record.name == "doomed"
+        assert record.error == "ValueError"
+        assert record.duration >= 0.0
+
+    def test_clean_span_has_no_error(self):
+        with tracing() as recorder:
+            with span("fine"):
+                pass
+        assert recorder.spans[0].error is None
+        assert "error" not in recorder.spans[0].as_dict()
+
+    def test_abandoned_child_is_unwound(self):
+        # Enter an inner span whose __exit__ never runs; closing the
+        # outer span must pop it so later spans get correct parents.
+        with tracing() as recorder:
+            with span("outer"):
+                leaked = span("leaked")
+                leaked.__enter__()
+                # no __exit__ — simulate a generator abandoned mid-span
+            with span("after"):
+                pass
+        by_name = {record.name: record for record in recorder.spans}
+        assert recorder.current_span_id() is None
+        assert by_name["after"].parent_id is None
+
+    def test_set_attrs_inside_body(self):
+        with tracing() as recorder:
+            with span("stage", fingerprint="abc") as live:
+                live.set_attrs(action="built", reason="miss")
+        attrs = recorder.spans[0].attrs
+        assert attrs == {"fingerprint": "abc", "action": "built", "reason": "miss"}
+
+
+class TestInstall:
+    def test_tracing_restores_previous_recorder(self):
+        outer = TraceRecorder()
+        previous = install_recorder(outer)
+        try:
+            with tracing() as inner:
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+        finally:
+            install_recorder(previous)
+
+    def test_install_returns_previous(self):
+        assert install_recorder(None) is None
+        recorder = TraceRecorder()
+        assert install_recorder(recorder) is None
+        assert install_recorder(None) is recorder
+
+
+class TestExporters:
+    def _populated(self):
+        with tracing() as recorder:
+            with span("stage.dataset", fingerprint="f0", scale=0.5):
+                with span("attack_grid.cell", epsilon_255=8.0):
+                    pass
+            with pytest.raises(RuntimeError):
+                with span("stage.broken", shape=(3, 2)):  # non-primitive attr
+                    raise RuntimeError
+        return recorder
+
+    def test_jsonl_one_parseable_object_per_span(self):
+        recorder = self._populated()
+        lines = recorder.as_jsonl().splitlines()
+        assert len(lines) == len(recorder.spans) == 3
+        payloads = [json.loads(line) for line in lines]
+        assert {p["name"] for p in payloads} == {
+            "stage.dataset",
+            "attack_grid.cell",
+            "stage.broken",
+        }
+        broken = next(p for p in payloads if p["name"] == "stage.broken")
+        assert broken["error"] == "RuntimeError"
+
+    def test_chrome_trace_schema(self):
+        recorder = self._populated()
+        trace = recorder.chrome_trace()
+        # Must survive a straight json round-trip (Perfetto loads it).
+        trace = json.loads(json.dumps(trace))
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        # Category is the span-name prefix; events sort by start time.
+        cell = next(e for e in events if e["name"] == "attack_grid.cell")
+        assert cell["cat"] == "attack_grid"
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+    def test_chrome_args_are_json_safe(self):
+        recorder = self._populated()
+        broken = next(
+            e
+            for e in recorder.chrome_trace()["traceEvents"]
+            if e["name"] == "stage.broken"
+        )
+        assert broken["args"]["shape"] == "(3, 2)"  # stringified tuple
+        assert broken["args"]["error"] == "RuntimeError"
+
+    def test_microsecond_timestamps_match_records(self):
+        recorder = self._populated()
+        record = recorder.spans[0]
+        event = next(
+            e for e in recorder.chrome_trace()["traceEvents"] if e["name"] == record.name
+        )
+        assert event["ts"] == pytest.approx(record.start * 1e6)
+        assert event["dur"] == pytest.approx(record.duration * 1e6)
+
+    def test_write_dispatches_on_extension(self, tmp_path):
+        recorder = self._populated()
+        jsonl_path = tmp_path / "trace.jsonl"
+        chrome_path = tmp_path / "trace.json"
+        recorder.write(str(jsonl_path))
+        recorder.write(str(chrome_path))
+        lines = jsonl_path.read_text().strip().splitlines()
+        assert len(lines) == 3 and all(json.loads(line) for line in lines)
+        chrome = json.loads(chrome_path.read_text())
+        assert len(chrome["traceEvents"]) == 3
+
+    def test_empty_recorder_exports_cleanly(self, tmp_path):
+        recorder = TraceRecorder()
+        assert recorder.as_jsonl() == ""
+        assert recorder.chrome_trace() == {"traceEvents": [], "displayTimeUnit": "ms"}
+        path = tmp_path / "empty.jsonl"
+        recorder.write(str(path))
+        assert path.read_text() == ""
