@@ -9,6 +9,12 @@ im2col workspace reuse), using identical weights for both.
 Writes ``BENCH_perf_engine.json`` at the repository root so the speedup
 numbers are tracked alongside the table outputs.  The optimized engine
 is expected to be at least 2x faster end to end.
+
+The report also carries a ``ladder`` section timing the two-recommender
+attack grid per grid engine (per-cell "off" vs batched "exact" vs
+warm-started "warm"), all under the shipping float32 engine.  The
+ladder claims: "exact" >= 2x and "warm" >= 4x grid cells/s over the
+per-cell path.
 """
 
 import os
@@ -32,6 +38,7 @@ def test_perf_engine_speedup():
         scale=BENCH_SCALE,
         repeats=2,
         include_grid=True,
+        include_ladder=True,
         out_path=OUT_PATH,
         verbose=True,
     )
@@ -44,3 +51,11 @@ def test_perf_engine_speedup():
     # Sanity: every stage should at least not get slower.
     for key, value in speedup.items():
         assert value > 1.0, f"stage {key} regressed: {value:.2f}x"
+
+    # Ladder claims: batching the ε ladder gives >= 2x grid cells/s with
+    # bitwise-identical outputs; warm starts + early exits give >= 4x.
+    ladder = payload["ladder"]
+    assert ladder["speedup"]["exact"] >= 2.0, ladder["speedup"]
+    assert ladder["speedup"]["warm"] >= 4.0, ladder["speedup"]
+    for mode in ("off", "exact", "warm"):
+        assert ladder["modes"][mode]["cells"] == ladder["modes"]["off"]["cells"]

@@ -11,6 +11,7 @@ from .cw import CarliniWagnerL2
 from .fgsm import FGSM
 from .mim import MIM
 from .item_to_item import ItemToItemAttack
+from .ladder import LADDER_ATTACKS, LADDER_MODES, EpsilonLadder, LadderCell
 from .nes import NESAttack
 from .jsma import JSMA
 from .deepfool import DeepFool
@@ -20,6 +21,8 @@ from .projections import (
     clip_pixels,
     epsilon_from_255,
     linf_distance,
+    per_image_random_start,
+    per_image_unit_noise,
     project_l2,
     project_linf,
     random_uniform_start,
@@ -34,6 +37,10 @@ __all__ = [
     "MIM",
     "CarliniWagnerL2",
     "ItemToItemAttack",
+    "EpsilonLadder",
+    "LadderCell",
+    "LADDER_MODES",
+    "LADDER_ATTACKS",
     "NESAttack",
     "JSMA",
     "DeepFool",
@@ -50,4 +57,6 @@ __all__ = [
     "linf_distance",
     "epsilon_from_255",
     "random_uniform_start",
+    "per_image_unit_noise",
+    "per_image_random_start",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -34,6 +34,12 @@ class AttackResult:
         The attack target (``None`` for untargeted runs).
     epsilon:
         l∞ budget on the [0, 1] pixel scale.
+    metadata:
+        Execution accounting: ``iterations`` (gradient steps the attack
+        ran), ``forwards`` / ``backwards`` (image-passes executed — one
+        unit is one image through the network once), and, for ladder
+        runs, per-image early-exit steps.  Run manifests aggregate these
+        across the grid.
     """
 
     adversarial_images: np.ndarray
@@ -41,7 +47,7 @@ class AttackResult:
     adversarial_predictions: np.ndarray
     epsilon: float
     target_class: Optional[int] = None
-    metadata: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def num_images(self) -> int:
@@ -77,6 +83,10 @@ class GradientAttack(ABC):
         self.model = model
         self.epsilon = epsilon
         self.batch_size = batch_size
+        # Execution accounting (image-passes); attack() snapshots these
+        # around each run so AttackResult.metadata reports per-run deltas.
+        self._forward_passes = 0
+        self._backward_passes = 0
 
     # ------------------------------------------------------------------ #
     def loss_gradient(
@@ -99,6 +109,8 @@ class GradientAttack(ABC):
             if was_training:
                 self.model.train()
         assert x.grad is not None
+        self._forward_passes += images.shape[0]
+        self._backward_passes += images.shape[0]
         return x.grad
 
     def _validate_images(self, images: np.ndarray) -> np.ndarray:
@@ -112,9 +124,14 @@ class GradientAttack(ABC):
     # ------------------------------------------------------------------ #
     @abstractmethod
     def _perturb_batch(
-        self, images: np.ndarray, labels: np.ndarray, targeted: bool
+        self, images: np.ndarray, labels: np.ndarray, targeted: bool, batch_start: int = 0
     ) -> np.ndarray:
-        """Return adversarial versions of one batch."""
+        """Return adversarial versions of one batch.
+
+        ``batch_start`` is the absolute index of ``images[0]`` within the
+        full attacked set, letting per-image randomness (PGD's random
+        start) stay invariant to how the set is split into batches.
+        """
 
     def attack(
         self,
@@ -137,6 +154,8 @@ class GradientAttack(ABC):
         """
         images = self._validate_images(images)
         targeted = target_class is not None
+        forwards_before = self._forward_passes
+        backwards_before = self._backward_passes
         if original_predictions is not None:
             original = np.asarray(original_predictions, dtype=np.int64)
             if original.shape != (images.shape[0],):
@@ -145,6 +164,7 @@ class GradientAttack(ABC):
                 )
         else:
             original = self.model.predict(images, batch_size=self.batch_size)
+            self._forward_passes += images.shape[0]
         if target_class is not None:
             if not 0 <= target_class < self.model.num_classes:
                 raise ValueError("target_class out of range")
@@ -160,14 +180,21 @@ class GradientAttack(ABC):
         for start in range(0, images.shape[0], self.batch_size):
             stop = start + self.batch_size
             adversarial[start:stop] = self._perturb_batch(
-                images[start:stop], labels[start:stop], targeted
+                images[start:stop], labels[start:stop], targeted, batch_start=start
             )
         adversarial = clip_pixels(adversarial)
+        adversarial_predictions = self.model.predict(adversarial, batch_size=self.batch_size)
+        self._forward_passes += images.shape[0]
 
         return AttackResult(
             adversarial_images=adversarial,
             original_predictions=original,
-            adversarial_predictions=self.model.predict(adversarial, batch_size=self.batch_size),
+            adversarial_predictions=adversarial_predictions,
             epsilon=self.epsilon,
             target_class=target_class,
+            metadata={
+                "iterations": int(getattr(self, "num_steps", 1)),
+                "forwards": int(self._forward_passes - forwards_before),
+                "backwards": int(self._backward_passes - backwards_before),
+            },
         )

@@ -20,7 +20,7 @@ class FGSM(GradientAttack):
     """One-step sign-gradient attack under an l∞ budget ``epsilon``."""
 
     def _perturb_batch(
-        self, images: np.ndarray, labels: np.ndarray, targeted: bool
+        self, images: np.ndarray, labels: np.ndarray, targeted: bool, batch_start: int = 0
     ) -> np.ndarray:
         gradient = self.loss_gradient(images, labels)
         step = np.sign(gradient) * self.epsilon

@@ -50,7 +50,7 @@ class ItemToItemAttack(GradientAttack):
         self._target_features: Optional[np.ndarray] = None
 
     # The generic label-driven path is not used by this attack.
-    def _perturb_batch(self, images, labels, targeted):  # pragma: no cover
+    def _perturb_batch(self, images, labels, targeted, batch_start=0):  # pragma: no cover
         raise NotImplementedError("use attack_toward_item()")
 
     def _feature_loss_gradient(

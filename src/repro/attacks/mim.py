@@ -47,7 +47,7 @@ class MIM(GradientAttack):
         self.decay = decay
 
     def _perturb_batch(
-        self, images: np.ndarray, labels: np.ndarray, targeted: bool
+        self, images: np.ndarray, labels: np.ndarray, targeted: bool, batch_start: int = 0
     ) -> np.ndarray:
         if self.epsilon == 0.0:
             return images.copy()

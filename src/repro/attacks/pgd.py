@@ -13,9 +13,8 @@ from typing import Optional
 import numpy as np
 
 from ..nn import TinyResNet
-from ..rng import rng_from_seed
 from .base import GradientAttack
-from .projections import clip_pixels, project_linf, random_uniform_start
+from .projections import clip_pixels, per_image_random_start, project_linf
 
 
 class PGD(GradientAttack):
@@ -34,7 +33,10 @@ class PGD(GradientAttack):
     random_start:
         Start from uniform noise in the ε-ball (True = PGD, False = BIM).
     seed:
-        Seed of the random start, for reproducible attacks.
+        Seed of the random start, for reproducible attacks.  The start of
+        image ``i`` is derived from ``(seed, i)`` — not from a stream
+        consumed sequentially across mini-batches — so the attack output
+        is invariant to ``batch_size`` and to how a cohort is split.
     """
 
     def __init__(
@@ -55,15 +57,17 @@ class PGD(GradientAttack):
         self.num_steps = num_steps
         self.step_size = step_size if step_size is not None else epsilon / 4.0
         self.random_start = random_start
-        self._rng = rng_from_seed(seed)
+        self.seed = seed
 
     def _perturb_batch(
-        self, images: np.ndarray, labels: np.ndarray, targeted: bool
+        self, images: np.ndarray, labels: np.ndarray, targeted: bool, batch_start: int = 0
     ) -> np.ndarray:
         if self.epsilon == 0.0:
             return images.copy()
         if self.random_start:
-            current = random_uniform_start(images, self.epsilon, self._rng)
+            current = per_image_random_start(
+                images, self.epsilon, self.seed, start_index=batch_start
+            )
         else:
             current = images.copy()
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import derive_rng
+
 
 def project_linf(perturbed: np.ndarray, clean: np.ndarray, epsilon: float) -> np.ndarray:
     """Project ``perturbed`` onto the l∞ ball of radius ``epsilon`` around ``clean``."""
@@ -60,3 +62,34 @@ def random_uniform_start(
     # promoted to float64 by the float64 RNG draw.
     noise = rng.uniform(-epsilon, epsilon, size=clean.shape).astype(clean.dtype, copy=False)
     return clip_pixels(clean + noise)
+
+
+def per_image_unit_noise(shape, seed: int, start_index: int = 0) -> np.ndarray:
+    """Uniform noise in [-1, 1], one independent stream per image.
+
+    Image ``i`` of an NCHW batch draws from the named substream
+    ``(seed, "pgd.start.{start_index + i}")``, so the noise an image
+    receives depends only on its absolute position in the attacked set —
+    never on how the set was split into mini-batches.  Scaling by ε
+    happens outside, which lets an ε ladder reuse one unit draw for
+    every budget.
+    """
+    noise = np.empty(shape, dtype=np.float64)
+    for i in range(shape[0]):
+        rng = derive_rng(seed, f"pgd.start.{start_index + i}")
+        noise[i] = rng.uniform(-1.0, 1.0, size=shape[1:])
+    return noise
+
+
+def per_image_random_start(
+    clean: np.ndarray, epsilon: float, seed: int, start_index: int = 0
+) -> np.ndarray:
+    """Batch-split-invariant uniform random point inside the l∞ ε-ball.
+
+    Replaces the sequential-stream :func:`random_uniform_start` on the
+    PGD path: results for a given ``(seed, image index)`` are identical
+    regardless of batch size or cohort composition.
+    """
+    noise = per_image_unit_noise(clean.shape, seed, start_index)
+    scaled = (epsilon * noise).astype(clean.dtype, copy=False)
+    return clip_pixels(clean + scaled)

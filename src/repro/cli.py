@@ -49,7 +49,7 @@ from .experiments import (
     format_table3,
     format_table4,
     men_config,
-    run_attack_grid,
+    run_attack_grids,
     women_config,
 )
 
@@ -200,6 +200,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         image_size=args.image_size,
         repeats=args.repeats,
         include_grid=not args.no_grid,
+        include_ladder=not args.no_ladder,
         out_path=args.out,
         verbose=not args.quiet,
     )
@@ -246,6 +247,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
     if args.pgd_steps is not None:
         overrides["pgd_steps"] = args.pgd_steps
+    if args.ladder is not None:
+        overrides["ladder_mode"] = args.ladder
     config = factory(**overrides)
 
     stages = None
@@ -343,7 +346,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_tables(args: argparse.Namespace) -> int:
     context = _build(args)
-    grids = [run_attack_grid(context, name) for name in ("VBPR", "AMR")]
+    grids = run_attack_grids(context, ("VBPR", "AMR"), ladder_mode=args.ladder)
     epsilons = context.config.epsilons_255
     print(format_table2(grids, epsilons))
     print()
@@ -416,6 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables = subparsers.add_parser("tables", help="regenerate Tables II-IV")
     _add_common_arguments(tables)
+    tables.add_argument(
+        "--ladder", choices=("exact", "warm", "off"), default=None,
+        help="attack-grid engine: 'exact' batches each cohort through the "
+        "ε ladder (bitwise-identical to the per-cell path), 'warm' adds "
+        "warm starts + early exits, 'off' runs the legacy per-cell loop "
+        "(default: the config's ladder_mode, 'exact')",
+    )
     tables.set_defaults(handler=cmd_tables)
 
     run = subparsers.add_parser(
@@ -434,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated attack grid on the 0-255 scale (e.g. 2,4,8,16)",
     )
     run.add_argument("--pgd-steps", type=int, default=None, help="PGD iterations")
+    run.add_argument(
+        "--ladder", choices=("exact", "warm", "off"), default=None,
+        help="attack-grid engine for the attack_grid stage (fingerprinted: "
+        "changing it re-runs the stage); default is the config's "
+        "ladder_mode, 'exact'",
+    )
     run.add_argument(
         "--stages", default=None,
         help="comma-separated target stages (deps are added automatically; "
@@ -463,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-grid", action="store_true",
         help="skip the full attack-grid timing (micro benchmarks only)",
+    )
+    bench.add_argument(
+        "--no-ladder", action="store_true",
+        help="skip the ladder-mode grid timings (off vs exact vs warm)",
     )
     bench.add_argument(
         "--out", default=None, help="write the JSON report to this path"

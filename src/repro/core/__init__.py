@@ -8,7 +8,14 @@ from .chr import (
     chr_report,
     weighted_category_hit_ratio,
 )
-from .pipeline import AttackOutcome, CatalogState, ItemReport, TAaMRPipeline, VisualQuality
+from .pipeline import (
+    AttackOutcome,
+    CatalogState,
+    FeatureScratch,
+    ItemReport,
+    TAaMRPipeline,
+    VisualQuality,
+)
 from .untargeted import UntargetedOutcome, run_untargeted_attack
 from .scenarios import AttackScenario, make_scenario, paper_scenarios, select_scenarios
 
@@ -23,6 +30,7 @@ __all__ = [
     "paper_scenarios",
     "TAaMRPipeline",
     "CatalogState",
+    "FeatureScratch",
     "AttackOutcome",
     "ItemReport",
     "VisualQuality",

@@ -14,11 +14,12 @@ deployed system recomputes features and scores, exactly as modelled by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..attacks.base import AttackResult, GradientAttack
+from ..attacks.ladder import LadderCell
 from ..data.datasets import MultimediaDataset
 from ..features.extractor import FeatureExtractor
 from ..metrics import batch_psnr, batch_ssim, psm_from_features
@@ -72,6 +73,9 @@ class AttackOutcome:
     attacked_item_ids: np.ndarray
     adversarial_images: np.ndarray
     scores_after: Optional[np.ndarray] = field(repr=False, default=None)
+    #: Execution accounting from the underlying AttackResult (iteration
+    #: counts, forward/backward passes, ladder early-exit steps).
+    attack_metadata: Dict[str, object] = field(repr=False, default_factory=dict)
 
     @property
     def chr_uplift(self) -> float:
@@ -79,6 +83,37 @@ class AttackOutcome:
         if self.chr_source_before == 0:
             return float("inf") if self.chr_source_after > 0 else 1.0
         return self.chr_source_after / self.chr_source_before
+
+
+class FeatureScratch:
+    """A reusable ``features_after`` buffer with dirty-row restore.
+
+    The per-cell path copies the full clean feature matrix for every
+    grid cell just to overwrite a handful of rows.  One scratch instance
+    amortises that to a single copy: before each use the previously
+    dirtied rows are restored from the clean matrix, then the new rows
+    are staged.  Sharable across pipelines of the same experiment (their
+    ``clean_features`` are the same standardised matrix).
+    """
+
+    __slots__ = ("_clean", "_buffer", "_dirty")
+
+    def __init__(self, clean_features: np.ndarray) -> None:
+        self._clean = clean_features
+        self._buffer = clean_features.copy()
+        self._dirty: Optional[np.ndarray] = None
+
+    def with_rows(self, item_ids: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """The clean matrix with ``rows`` staged at ``item_ids``.
+
+        The returned array is the shared buffer — valid until the next
+        ``with_rows`` call; consumers must not hold on to it.
+        """
+        if self._dirty is not None:
+            self._buffer[self._dirty] = self._clean[self._dirty]
+        self._buffer[item_ids] = rows
+        self._dirty = item_ids
+        return self._buffer
 
 
 @dataclass
@@ -278,7 +313,102 @@ class TAaMRPipeline:
             attacked_item_ids=source_items,
             adversarial_images=result.adversarial_images,
             scores_after=scores_after,
+            attack_metadata=dict(result.metadata),
         )
+
+    # ------------------------------------------------------------------ #
+    # Ladder cells → outcomes (the amortised grid path)
+    # ------------------------------------------------------------------ #
+    def outcomes_from_cells(
+        self,
+        scenario: AttackScenario,
+        attack_name: str,
+        cells: Sequence[LadderCell],
+        scratch: Optional[FeatureScratch] = None,
+    ) -> List[AttackOutcome]:
+        """Measure precomputed :class:`~repro.attacks.ladder.LadderCell`s.
+
+        The attack, the adversarial-feature extraction and (memoised on
+        the cells) the visual-quality metrics are recommender-independent,
+        so a grid driver runs the ladder once per (scenario, attack) and
+        calls this per recommender — only the re-scoring GEMM and CHR
+        bookkeeping run per recommender.  ``scratch`` shares the
+        ``features_after`` buffer across cells instead of copying the
+        full clean matrix per cell.
+        """
+        source_items = self.category_items(scenario.source)
+        if source_items.size == 0:
+            raise ValueError(
+                f"classifier assigns no items to source category '{scenario.source}'"
+            )
+        target_items = self.category_items(scenario.target)
+        clean_images = self.dataset.images[source_items]
+
+        outcomes: List[AttackOutcome] = []
+        for cell in cells:
+            result = cell.result
+            if result.num_images != source_items.size:
+                raise ValueError(
+                    "ladder cell does not cover the scenario's source cohort"
+                )
+            adversarial_raw = cell.raw_features
+            # The standardised rows depend only on the shared extractor,
+            # so the second recommender's pipeline reuses the memo.
+            rows = cell.extras.get("features_std")
+            if rows is None:
+                rows = self.extractor.transform_raw_features(adversarial_raw)
+                cell.extras["features_std"] = rows
+            with span("pipeline.rescore"):
+                if scratch is None:
+                    features_after = self.clean_features.copy()
+                    features_after[source_items] = rows
+                else:
+                    features_after = scratch.with_rows(source_items, rows)
+                scores_after = self.recommender.score_all(features=features_after)
+                top_after = self.recommender.top_n(
+                    self.cutoff, feedback=self.dataset.feedback, scores=scores_after
+                )
+            visual = cell.extras.get("visual")
+            if visual is None:
+                with span("pipeline.visual_metrics"):
+                    visual = VisualQuality(
+                        psnr=float(
+                            np.mean(batch_psnr(clean_images, result.adversarial_images))
+                        ),
+                        ssim=float(
+                            np.mean(batch_ssim(clean_images, result.adversarial_images))
+                        ),
+                        psm=float(
+                            np.mean(
+                                psm_from_features(
+                                    self.clean_raw_features[source_items],
+                                    adversarial_raw,
+                                )
+                            )
+                        ),
+                    )
+                cell.extras["visual"] = visual
+            outcomes.append(
+                AttackOutcome(
+                    scenario=scenario,
+                    attack_name=attack_name,
+                    epsilon_255=cell.epsilon * 255.0,
+                    chr_source_before=self._chr_percent_of_items(
+                        source_items, self.clean_top_n
+                    ),
+                    chr_target_before=self._chr_percent_of_items(
+                        target_items, self.clean_top_n
+                    ),
+                    chr_source_after=self._chr_percent_of_items(source_items, top_after),
+                    success_rate=result.success_rate(),
+                    visual=visual,
+                    attacked_item_ids=source_items,
+                    adversarial_images=result.adversarial_images,
+                    scores_after=scores_after,
+                    attack_metadata=dict(result.metadata),
+                )
+            )
+        return outcomes
 
     # ------------------------------------------------------------------ #
     # Fig. 2: per-item inspection

@@ -40,6 +40,11 @@ class ExperimentConfig:
     # Attack grid (paper: ε ∈ {2, 4, 8, 16}/255, PGD with 10 iterations).
     epsilons_255: Tuple[float, ...] = (2.0, 4.0, 8.0, 16.0)
     pgd_steps: int = 10
+    # Grid engine: "exact" batches each (scenario, attack) cohort through
+    # the ε ladder with bitwise-identical outputs, "warm" adds warm
+    # starts + early exits (tolerance-equivalent), "off" runs the legacy
+    # per-cell loop.
+    ladder_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.dataset not in ("amazon_men_like", "amazon_women_like"):
@@ -50,6 +55,8 @@ class ExperimentConfig:
             raise ValueError("cutoff must be positive")
         if any(eps <= 0 or eps > 255 for eps in self.epsilons_255):
             raise ValueError("epsilons_255 must lie in (0, 255]")
+        if self.ladder_mode not in ("exact", "warm", "off"):
+            raise ValueError("ladder_mode must be 'exact', 'warm' or 'off'")
 
     def cache_key(self) -> str:
         """Deterministic hash of every training-relevant field."""
@@ -60,6 +67,9 @@ class ExperimentConfig:
         payload.pop("epsilons_255")
         payload.pop("pgd_steps")
         payload.pop("cutoff")
+        # The grid engine changes how cells are computed, never which
+        # artifacts get trained.
+        payload.pop("ladder_mode")
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 

@@ -37,7 +37,12 @@ from ..nn import (
 from ..telemetry import active_metrics, monotonic, span
 from .config import men_config
 from .context import build_context, clear_context_registry
-from .runner import run_attack_grid
+from .runner import run_attack_grid, run_attack_grids
+
+#: Ladder engine modes timed by the ``ladder`` bench section, in the
+#: order they are reported.  ``off`` is the per-cell baseline the
+#: speedups are measured against.
+LADDER_BENCH_MODES = ("off", "exact", "warm")
 
 #: The two engine configurations compared by the benchmark.  The baseline
 #: switches off every fast-attack-grid engine feature, not just the dtype:
@@ -78,11 +83,57 @@ def _timing(wall_s: float, ops: int, unit: str) -> Dict[str, float]:
     }
 
 
+def _ladder_bench(grid_context, log) -> Dict:
+    """Time the two-recommender grid per ladder mode (shipping engine).
+
+    Unlike the float64-vs-float32 comparison above, every mode here runs
+    the same float32 optimized engine — the measurement isolates the
+    grid *orchestration*: per-cell loop ("off") vs shared ε-ladder
+    batching ("exact") vs warm starts + early exits ("warm").
+    """
+    modes: Dict[str, Dict] = {}
+    for mode in LADDER_BENCH_MODES:
+        with span("bench.ladder", mode=mode):
+            start = monotonic()
+            grids = run_attack_grids(
+                grid_context, ("VBPR", "AMR"), use_cache=False, ladder_mode=mode
+            )
+            wall = monotonic() - start
+        cells = sum(len(grid.outcomes) for grid in grids)
+        attacked = sum(
+            outcome.adversarial_images.shape[0]
+            for grid in grids
+            for outcome in grid.outcomes
+        )
+        modes[mode] = {
+            "wall_s": wall,
+            "cells": cells,
+            "cells_per_s": cells / wall if wall > 0 else float("inf"),
+            "images": attacked,
+            "images_per_s": attacked / wall if wall > 0 else float("inf"),
+        }
+        log(
+            f"  ladder[{mode}]: {wall:.2f}s for {cells} cells "
+            f"({modes[mode]['cells_per_s']:.2f} cells/s)"
+        )
+    baseline = modes["off"]["wall_s"]
+    return {
+        "recommenders": ["VBPR", "AMR"],
+        "modes": modes,
+        "speedup": {
+            mode: baseline / modes[mode]["wall_s"]
+            for mode in LADDER_BENCH_MODES
+            if mode != "off" and modes[mode]["wall_s"] > 0
+        },
+    }
+
+
 def run_perf_bench(
     scale: float = 0.003,
     image_size: int = 24,
     repeats: int = 3,
     include_grid: bool = True,
+    include_ladder: bool = True,
     out_path: Optional[str] = None,
     verbose: bool = False,
 ) -> Dict:
@@ -98,6 +149,10 @@ def run_perf_bench(
         Also time a full ``run_attack_grid`` per mode.  This is the
         end-to-end tentpole number but costs tens of seconds; micro
         benchmarks alone finish much faster.
+    include_ladder:
+        Also time the two-recommender grid per ladder mode
+        (off / exact / warm) under the shipping float32 engine.
+        Requires ``include_grid`` (reuses its trained context).
     out_path:
         When given, the report is written there as JSON.
     """
@@ -203,6 +258,11 @@ def run_perf_bench(
     if grid_context is not None:
         grid_context.classifier.to_dtype(np.float32)
 
+    ladder_report = None
+    if include_ladder and grid_context is not None:
+        log("ladder section: two-recommender grid per ladder mode")
+        ladder_report = _ladder_bench(grid_context, log)
+
     speedup = {}
     baseline, optimized = results["float64_baseline"], results["float32_optimized"]
     for key in ("forward", "backward", "fgsm", "pgd", "attack_grid"):
@@ -222,6 +282,8 @@ def run_perf_bench(
         "modes": results,
         "speedup": speedup,
     }
+    if ladder_report is not None:
+        payload["ladder"] = ladder_report
 
     registry = active_metrics()
     if registry is not None:
@@ -246,4 +308,19 @@ def format_perf_report(payload: Dict) -> str:
         lines.append(
             f"{key:12s} {base:12.4f} {opt:12.4f} {payload['speedup'][key]:8.2f}x"
         )
+    ladder = payload.get("ladder")
+    if ladder:
+        lines.append("")
+        lines.append("Ladder grid benchmark (VBPR+AMR, float32 engine)")
+        lines.append(
+            f"{'mode':8s} {'wall (s)':>10s} {'cells/s':>9s} {'img/s':>9s} {'speedup':>9s}"
+        )
+        for mode in LADDER_BENCH_MODES:
+            timing = ladder["modes"][mode]
+            speed = ladder["speedup"].get(mode)
+            speed_text = f"{speed:8.2f}x" if speed is not None else f"{'—':>9s}"
+            lines.append(
+                f"{mode:8s} {timing['wall_s']:10.3f} {timing['cells_per_s']:9.2f} "
+                f"{timing['images_per_s']:9.1f} {speed_text}"
+            )
     return "\n".join(lines)

@@ -10,19 +10,27 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..attacks import FGSM, PGD
+from ..attacks import FGSM, PGD, EpsilonLadder
 from ..attacks.base import GradientAttack
 from ..attacks.projections import epsilon_from_255
-from ..core import AttackOutcome, AttackScenario, TAaMRPipeline, paper_scenarios
+from ..core import (
+    AttackOutcome,
+    AttackScenario,
+    FeatureScratch,
+    TAaMRPipeline,
+    paper_scenarios,
+)
 from ..telemetry import span
 from .context import ExperimentContext
+
+GRID_ATTACK_NAMES = ("FGSM", "PGD")
 
 # LRU-bounded: each grid pins a pipeline (full catalog features, scores
 # and adversarial images), so an unbounded cache grows without limit in
 # long sessions sweeping many configs.
-_GRID_CACHE: "OrderedDict[Tuple[str, str], AttackGrid]" = OrderedDict()
+_GRID_CACHE: "OrderedDict[Tuple[str, str, str], AttackGrid]" = OrderedDict()
 _GRID_CACHE_MAX_ENTRIES = 4
 
 
@@ -61,41 +69,101 @@ def _make_attacks(
     }
 
 
-def run_attack_grid(
-    context: ExperimentContext,
-    recommender_name: str,
-    scenarios: Optional[Sequence[AttackScenario]] = None,
-    epsilons_255: Optional[Sequence[float]] = None,
-    use_cache: bool = True,
-) -> AttackGrid:
-    """Attack one recommender across all scenarios, attacks and budgets."""
-    cache_key = (context.config.cache_key(), recommender_name.upper())
-    if use_cache and scenarios is None and epsilons_255 is None and cache_key in _GRID_CACHE:
-        _GRID_CACHE.move_to_end(cache_key)
-        return _GRID_CACHE[cache_key]
+def ladder_grid_outcomes(
+    classifier,
+    pipelines: "Mapping[str, TAaMRPipeline]",
+    scenarios: Sequence[AttackScenario],
+    epsilons_255: Sequence[float],
+    pgd_steps: int,
+    seed: int,
+    mode: str,
+    batch_size: int = 32,
+) -> Dict[str, List[AttackOutcome]]:
+    """Run the ε-ladder grid once and measure it per recommender.
 
-    recommender = context.recommender(recommender_name)
-    pipeline = TAaMRPipeline(
+    The attack, feature re-extraction and visual metrics of a cell
+    depend only on the classifier, so one :class:`EpsilonLadder` run per
+    (scenario, attack) serves every pipeline in ``pipelines`` — only
+    re-scoring and CHR bookkeeping execute per recommender.  Outcomes
+    come back per recommender in the canonical per-cell order
+    (scenario → ε → attack), so tables and stored grid rows are laid out
+    exactly as the legacy loop produced them.
+
+    All pipelines must share one catalog classification (identical
+    ``item_classes``/``clean_features``), which holds for pipelines of
+    one experiment context or stage run.
+    """
+    epsilons = tuple(epsilon_from_255(eps) for eps in epsilons_255)
+    first = next(iter(pipelines.values()))
+    scratch = FeatureScratch(first.clean_features)
+    outcomes: Dict[str, List[AttackOutcome]] = {name: [] for name in pipelines}
+    for scenario in scenarios:
+        target_class = first.dataset.registry.by_name(scenario.target).category_id
+        source_items = first.category_items(scenario.source)
+        if source_items.size == 0:
+            raise ValueError(
+                f"classifier assigns no items to source category '{scenario.source}'"
+            )
+        images = first.dataset.images[source_items]
+        original = first.item_classes[source_items]
+        cells_by_attack = {}
+        for attack_name in GRID_ATTACK_NAMES:
+            ladder = EpsilonLadder(
+                classifier,
+                attack=attack_name,
+                epsilons=epsilons,
+                mode=mode,
+                num_steps=pgd_steps,
+                seed=seed,
+                batch_size=batch_size,
+            )
+            with span(
+                "attack_grid.ladder",
+                source=scenario.source,
+                target=scenario.target,
+                attack=attack_name,
+                mode=mode,
+                items=int(source_items.size),
+            ):
+                cells_by_attack[attack_name] = ladder.run(
+                    images, target_class, original_predictions=original
+                )
+        for name, pipeline in pipelines.items():
+            measured = {
+                attack_name: pipeline.outcomes_from_cells(
+                    scenario, attack_name, cells_by_attack[attack_name], scratch=scratch
+                )
+                for attack_name in GRID_ATTACK_NAMES
+            }
+            for index in range(len(epsilons)):
+                for attack_name in GRID_ATTACK_NAMES:
+                    outcomes[name].append(measured[attack_name][index])
+    return outcomes
+
+
+def _build_pipeline(context: ExperimentContext, recommender_name: str) -> TAaMRPipeline:
+    return TAaMRPipeline(
         context.dataset,
         context.extractor,
-        recommender,
+        context.recommender(recommender_name),
         cutoff=context.config.cutoff,
         # Contexts built through the stage DAG carry the catalog
         # classifier pass; reusing it skips one full forward here.
         precomputed=context.catalog_state(),
     )
-    resolved_scenarios = (
-        list(scenarios)
-        if scenarios is not None
-        else paper_scenarios(context.dataset.name, context.dataset.registry)
-    )
-    resolved_epsilons = (
-        tuple(epsilons_255) if epsilons_255 is not None else context.config.epsilons_255
-    )
 
+
+def _per_cell_outcomes(
+    context: ExperimentContext,
+    recommender_name: str,
+    pipeline: TAaMRPipeline,
+    scenarios: Sequence[AttackScenario],
+    epsilons_255: Sequence[float],
+) -> List[AttackOutcome]:
+    """The legacy per-cell loop (``ladder_mode="off"``)."""
     outcomes: List[AttackOutcome] = []
-    for scenario in resolved_scenarios:
-        for epsilon_255 in resolved_epsilons:
+    for scenario in scenarios:
+        for epsilon_255 in epsilons_255:
             for attack_name, attack in _make_attacks(context, epsilon_255).items():
                 with span(
                     "attack_grid.cell",
@@ -110,6 +178,64 @@ def run_attack_grid(
                             scenario, attack, attack_name=attack_name
                         )
                     )
+    return outcomes
+
+
+def _resolve_mode(context: ExperimentContext, ladder_mode: Optional[str]) -> str:
+    mode = ladder_mode if ladder_mode is not None else getattr(
+        context.config, "ladder_mode", "exact"
+    )
+    if mode not in ("exact", "warm", "off"):
+        raise ValueError("ladder_mode must be 'exact', 'warm' or 'off'")
+    return mode
+
+
+def run_attack_grid(
+    context: ExperimentContext,
+    recommender_name: str,
+    scenarios: Optional[Sequence[AttackScenario]] = None,
+    epsilons_255: Optional[Sequence[float]] = None,
+    use_cache: bool = True,
+    ladder_mode: Optional[str] = None,
+) -> AttackGrid:
+    """Attack one recommender across all scenarios, attacks and budgets.
+
+    ``ladder_mode`` overrides ``config.ladder_mode``: ``"exact"``
+    (default) drives the batched ε ladder with bitwise-identical cells,
+    ``"warm"`` adds warm starts and early exits, ``"off"`` runs the
+    legacy per-cell loop.
+    """
+    mode = _resolve_mode(context, ladder_mode)
+    cache_key = (context.config.cache_key(), recommender_name.upper(), mode)
+    default_selection = scenarios is None and epsilons_255 is None
+    if use_cache and default_selection and cache_key in _GRID_CACHE:
+        _GRID_CACHE.move_to_end(cache_key)
+        return _GRID_CACHE[cache_key]
+
+    pipeline = _build_pipeline(context, recommender_name)
+    resolved_scenarios = (
+        list(scenarios)
+        if scenarios is not None
+        else paper_scenarios(context.dataset.name, context.dataset.registry)
+    )
+    resolved_epsilons = (
+        tuple(epsilons_255) if epsilons_255 is not None else context.config.epsilons_255
+    )
+
+    if mode == "off":
+        outcomes = _per_cell_outcomes(
+            context, recommender_name, pipeline, resolved_scenarios, resolved_epsilons
+        )
+    else:
+        outcomes = ladder_grid_outcomes(
+            context.classifier,
+            OrderedDict([(recommender_name.upper(), pipeline)]),
+            resolved_scenarios,
+            resolved_epsilons,
+            pgd_steps=context.config.pgd_steps,
+            seed=context.config.seed,
+            mode=mode,
+        )[recommender_name.upper()]
 
     grid = AttackGrid(
         recommender_name=recommender_name.upper(),
@@ -117,12 +243,78 @@ def run_attack_grid(
         scenarios=resolved_scenarios,
         outcomes=outcomes,
     )
-    if use_cache and scenarios is None and epsilons_255 is None:
+    if use_cache and default_selection:
         _cache_store(cache_key, grid)
     return grid
 
 
-def _cache_store(cache_key: Tuple[str, str], grid: AttackGrid) -> None:
+def run_attack_grids(
+    context: ExperimentContext,
+    recommender_names: Sequence[str] = ("VBPR", "AMR"),
+    scenarios: Optional[Sequence[AttackScenario]] = None,
+    epsilons_255: Optional[Sequence[float]] = None,
+    use_cache: bool = True,
+    ladder_mode: Optional[str] = None,
+) -> List[AttackGrid]:
+    """Attack several recommenders, sharing ladder cells between them.
+
+    With the ladder on, the attacks, adversarial-feature extraction and
+    visual metrics run **once** for all recommenders — the dominant cost
+    of a multi-recommender grid — and only re-scoring repeats.  With
+    ``ladder_mode="off"`` this degrades to one independent
+    :func:`run_attack_grid` per recommender.
+    """
+    mode = _resolve_mode(context, ladder_mode)
+    default_selection = scenarios is None and epsilons_255 is None
+    if mode == "off":
+        return [
+            run_attack_grid(
+                context, name, scenarios, epsilons_255, use_cache, ladder_mode=mode
+            )
+            for name in recommender_names
+        ]
+
+    names = [name.upper() for name in recommender_names]
+    if use_cache and default_selection:
+        keys = [(context.config.cache_key(), name, mode) for name in names]
+        if all(key in _GRID_CACHE for key in keys):
+            for key in keys:
+                _GRID_CACHE.move_to_end(key)
+            return [_GRID_CACHE[key] for key in keys]
+
+    pipelines = OrderedDict((name, _build_pipeline(context, name)) for name in names)
+    resolved_scenarios = (
+        list(scenarios)
+        if scenarios is not None
+        else paper_scenarios(context.dataset.name, context.dataset.registry)
+    )
+    resolved_epsilons = (
+        tuple(epsilons_255) if epsilons_255 is not None else context.config.epsilons_255
+    )
+    outcomes = ladder_grid_outcomes(
+        context.classifier,
+        pipelines,
+        resolved_scenarios,
+        resolved_epsilons,
+        pgd_steps=context.config.pgd_steps,
+        seed=context.config.seed,
+        mode=mode,
+    )
+    grids = []
+    for name in names:
+        grid = AttackGrid(
+            recommender_name=name,
+            pipeline=pipelines[name],
+            scenarios=resolved_scenarios,
+            outcomes=outcomes[name],
+        )
+        if use_cache and default_selection:
+            _cache_store((context.config.cache_key(), name, mode), grid)
+        grids.append(grid)
+    return grids
+
+
+def _cache_store(cache_key: Tuple[str, str, str], grid: AttackGrid) -> None:
     """Insert a grid into the LRU cache, evicting the oldest past the bound."""
     _GRID_CACHE[cache_key] = grid
     _GRID_CACHE.move_to_end(cache_key)

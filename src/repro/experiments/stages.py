@@ -95,7 +95,7 @@ STAGE_SPECS: Tuple[StageSpec, ...] = (
     StageSpec(
         "attack_grid",
         ("dataset", "classifier", "features", "vbpr", "amr", "clean_scores"),
-        ("epsilons_255", "pgd_steps", "cutoff", "seed"),
+        ("epsilons_255", "pgd_steps", "cutoff", "seed", "ladder_mode"),
     ),
     StageSpec("tables", ("attack_grid",), ("epsilons_255",)),
 )
@@ -174,6 +174,10 @@ class RunManifest:
     #: Telemetry report (metrics snapshot / hot-op table) when the run
     #: was executed inside a telemetry session; absent otherwise.
     telemetry: Optional[Dict[str, Any]] = None
+    #: Aggregated attack-execution accounting (iterations, forward /
+    #: backward image-passes, early exits) when the run touched the
+    #: attack grid; absent otherwise.
+    attack_stats: Optional[Dict[str, Any]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -204,6 +208,8 @@ class RunManifest:
         }
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry
+        if self.attack_stats is not None:
+            payload["attack_stats"] = self.attack_stats
         return payload
 
     def save(self, path: str) -> None:
@@ -436,60 +442,93 @@ def _unpack_clean_scores(results: StageResults, arrays, meta) -> None:
         )
 
 
+def _grid_row(recommender_name: str, outcome, ladder_mode: str) -> Dict[str, Any]:
+    metadata = outcome.attack_metadata
+    return {
+        "recommender": recommender_name,
+        "source": outcome.scenario.source,
+        "target": outcome.scenario.target,
+        "semantically_similar": outcome.scenario.semantically_similar,
+        "attack": outcome.attack_name,
+        "epsilon_255": float(outcome.epsilon_255),
+        "chr_source_before": float(outcome.chr_source_before),
+        "chr_target_before": float(outcome.chr_target_before),
+        "chr_source_after": float(outcome.chr_source_after),
+        "success_rate": float(outcome.success_rate),
+        "psnr": float(outcome.visual.psnr),
+        "ssim": float(outcome.visual.ssim),
+        "psm": float(outcome.visual.psm),
+        "num_attacked_items": int(outcome.attacked_item_ids.size),
+        "ladder_mode": ladder_mode,
+        "attack_iterations": int(metadata.get("iterations", 0)),
+        "attack_forwards": float(metadata.get("forwards", 0.0)),
+        "attack_backwards": float(metadata.get("backwards", 0.0)),
+        "early_exited": int(metadata.get("early_exited", 0)),
+    }
+
+
 def _build_attack_grid(results: StageResults) -> None:
+    # Late import: runner → context → stages would cycle at module level.
+    from .runner import ladder_grid_outcomes
+
     config = results.config
+    ladder_mode = config.ladder_mode
     rows: List[Dict[str, Any]] = []
     scenarios = paper_scenarios(results.dataset.name, results.dataset.registry)
-    for name in RECOMMENDER_NAMES:
-        pipeline = TAaMRPipeline(
+    pipelines = {
+        name: TAaMRPipeline(
             results.dataset,
             results.extractor,
             results.recommender(name),
             cutoff=config.cutoff,
             precomputed=results.catalog_state(name),
         )
-        for scenario in scenarios:
-            for epsilon_255 in config.epsilons_255:
-                epsilon = epsilon_from_255(epsilon_255)
-                attacks = {
-                    "FGSM": FGSM(results.classifier, epsilon),
-                    "PGD": PGD(
-                        results.classifier,
-                        epsilon,
-                        num_steps=config.pgd_steps,
-                        seed=config.seed,
-                    ),
-                }
-                for attack_name, attack in attacks.items():
-                    with span(
-                        "attack_grid.cell",
-                        recommender=name,
-                        source=scenario.source,
-                        target=scenario.target,
-                        attack=attack_name,
-                        epsilon_255=float(epsilon_255),
-                    ):
-                        outcome = pipeline.attack_category(
-                            scenario, attack, attack_name=attack_name
-                        )
-                    rows.append(
-                        {
-                            "recommender": name,
-                            "source": scenario.source,
-                            "target": scenario.target,
-                            "semantically_similar": scenario.semantically_similar,
-                            "attack": attack_name,
-                            "epsilon_255": float(outcome.epsilon_255),
-                            "chr_source_before": float(outcome.chr_source_before),
-                            "chr_target_before": float(outcome.chr_target_before),
-                            "chr_source_after": float(outcome.chr_source_after),
-                            "success_rate": float(outcome.success_rate),
-                            "psnr": float(outcome.visual.psnr),
-                            "ssim": float(outcome.visual.ssim),
-                            "psm": float(outcome.visual.psm),
-                            "num_attacked_items": int(outcome.attacked_item_ids.size),
-                        }
-                    )
+        for name in RECOMMENDER_NAMES
+    }
+    if ladder_mode == "off":
+        for name in RECOMMENDER_NAMES:
+            pipeline = pipelines[name]
+            for scenario in scenarios:
+                for epsilon_255 in config.epsilons_255:
+                    epsilon = epsilon_from_255(epsilon_255)
+                    attacks = {
+                        "FGSM": FGSM(results.classifier, epsilon),
+                        "PGD": PGD(
+                            results.classifier,
+                            epsilon,
+                            num_steps=config.pgd_steps,
+                            seed=config.seed,
+                        ),
+                    }
+                    for attack_name, attack in attacks.items():
+                        with span(
+                            "attack_grid.cell",
+                            recommender=name,
+                            source=scenario.source,
+                            target=scenario.target,
+                            attack=attack_name,
+                            epsilon_255=float(epsilon_255),
+                        ):
+                            outcome = pipeline.attack_category(
+                                scenario, attack, attack_name=attack_name
+                            )
+                        rows.append(_grid_row(name, outcome, ladder_mode))
+    else:
+        # One ladder run per (scenario, attack) serves both recommenders:
+        # attacks, re-extraction and visual metrics are classifier-side
+        # work, so only re-scoring repeats per recommender.
+        outcomes_by_name = ladder_grid_outcomes(
+            results.classifier,
+            pipelines,
+            scenarios,
+            config.epsilons_255,
+            pgd_steps=config.pgd_steps,
+            seed=config.seed,
+            mode=ladder_mode,
+        )
+        for name in RECOMMENDER_NAMES:
+            for outcome in outcomes_by_name[name]:
+                rows.append(_grid_row(name, outcome, ladder_mode))
     results.grid_rows = rows
 
 
@@ -499,6 +538,33 @@ def _pack_attack_grid(results: StageResults):
 
 def _unpack_attack_grid(results: StageResults, arrays, meta) -> None:
     results.grid_rows = list(meta["rows"])
+
+
+def attack_stats_from_rows(
+    rows: Sequence[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """Aggregate per-cell attack accounting for the run manifest.
+
+    Sums are over stored grid rows, so shared ladder passes (attributed
+    fractionally per cell) appear once per recommender row — the figure
+    answers "what did producing these rows cost", not "how many passes
+    did the engine run".
+    """
+    if not rows:
+        return None
+    stats: Dict[str, Any] = {
+        "cells": len(rows),
+        "attack_iterations": int(sum(int(r.get("attack_iterations", 0)) for r in rows)),
+        "attack_forwards": float(sum(float(r.get("attack_forwards", 0.0)) for r in rows)),
+        "attack_backwards": float(
+            sum(float(r.get("attack_backwards", 0.0)) for r in rows)
+        ),
+        "early_exited_images": int(sum(int(r.get("early_exited", 0)) for r in rows)),
+    }
+    modes = sorted({str(r["ladder_mode"]) for r in rows if r.get("ladder_mode")})
+    if modes:
+        stats["ladder_mode"] = modes[0] if len(modes) == 1 else modes
+    return stats
 
 
 def rows_to_grids(rows: Sequence[Dict[str, Any]]):
@@ -699,6 +765,7 @@ class StageRunner:
         for name in order:
             outcome = self._run_stage(name, results, hashes, forced=name in force_set)
             manifest.stages.append(outcome)
+        manifest.attack_stats = attack_stats_from_rows(results.grid_rows)
         return results, manifest
 
     def _run_stage(
@@ -816,4 +883,13 @@ def format_manifest(manifest: RunManifest) -> str:
     lines.append(
         f"total {manifest.total_seconds:.3f}s — {hits} cache hit(s), {built} built"
     )
+    if manifest.attack_stats:
+        stats = manifest.attack_stats
+        mode = stats.get("ladder_mode")
+        lines.append(
+            f"attack grid: {stats['cells']} cells, "
+            f"{stats['attack_forwards']:.0f} fwd / {stats['attack_backwards']:.0f} bwd "
+            f"image-passes, {stats['early_exited_images']} early exit(s)"
+            + (f" [ladder {mode}]" if mode else "")
+        )
     return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Grid-level tests for the ε-ladder engine.
+
+Pins the tentpole contract: ``ladder_mode="exact"`` produces the same
+grid as the legacy per-cell loop cell for cell (bitwise on images,
+equal on every derived number), ``"warm"`` stays within tolerance, the
+stage DAG fingerprints the mode, and run manifests surface the attack
+accounting satellites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    StageRunner,
+    attack_stats_from_rows,
+    build_context,
+    clear_context_registry,
+    clear_grid_cache,
+    format_manifest,
+    men_config,
+    run_attack_grid,
+    run_attack_grids,
+    stage_fingerprints,
+)
+
+TINY = dict(
+    scale=0.002,
+    image_size=16,
+    classifier_epochs=8,
+    recommender_epochs=5,
+    amr_pretrain_epochs=2,
+    cutoff=20,
+    epsilons_255=(4.0, 8.0),
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    clear_context_registry()
+    clear_grid_cache()
+    return build_context(men_config(**TINY))
+
+
+@pytest.fixture(scope="module")
+def off_grid(context):
+    return run_attack_grid(context, "VBPR", use_cache=False, ladder_mode="off")
+
+
+class TestExactGridEquivalence:
+    def test_exact_matches_per_cell_grid(self, context, off_grid):
+        exact = run_attack_grid(context, "VBPR", use_cache=False, ladder_mode="exact")
+        assert len(exact.outcomes) == len(off_grid.outcomes)
+        for a, b in zip(off_grid.outcomes, exact.outcomes):
+            assert (a.scenario.source, a.attack_name, a.epsilon_255) == (
+                b.scenario.source,
+                b.attack_name,
+                b.epsilon_255,
+            )
+            assert np.array_equal(a.adversarial_images, b.adversarial_images)
+            assert a.success_rate == b.success_rate
+            assert a.chr_source_after == b.chr_source_after
+            assert a.visual.psnr == b.visual.psnr
+            assert a.visual.ssim == b.visual.ssim
+            assert a.visual.psm == b.visual.psm
+
+    def test_shared_ladder_matches_independent_grids(self, context):
+        """run_attack_grids shares one ladder across recommenders without
+        changing any number."""
+        shared = run_attack_grids(
+            context, ("VBPR", "AMR"), use_cache=False, ladder_mode="exact"
+        )
+        for name, grid in zip(("VBPR", "AMR"), shared):
+            independent = run_attack_grid(
+                context, name, use_cache=False, ladder_mode="off"
+            )
+            for a, b in zip(independent.outcomes, grid.outcomes):
+                assert np.array_equal(a.adversarial_images, b.adversarial_images)
+                assert a.chr_source_after == b.chr_source_after
+                assert a.chr_target_before == b.chr_target_before
+
+    def test_warm_within_tolerance(self, context, off_grid):
+        warm = run_attack_grid(context, "VBPR", use_cache=False, ladder_mode="warm")
+        for a, b in zip(off_grid.outcomes, warm.outcomes):
+            if a.attack_name == "FGSM":
+                # FGSM has no iterates to warm-start: still bitwise.
+                assert np.array_equal(a.adversarial_images, b.adversarial_images)
+            else:
+                assert abs(a.success_rate - b.success_rate) <= 0.25
+                assert abs(a.visual.psnr - b.visual.psnr) <= 2.0
+            eps = a.epsilon_255 / 255.0
+            clean = context.dataset.images[b.attacked_item_ids]
+            assert np.abs(b.adversarial_images - clean).max() <= eps + 1e-6
+
+    def test_outcome_metadata_populated(self, context):
+        exact = run_attack_grid(context, "VBPR", use_cache=False, ladder_mode="exact")
+        for outcome in exact.outcomes:
+            meta = outcome.attack_metadata
+            assert meta["ladder"] is True and meta["mode"] == "exact"
+            assert meta["iterations"] >= 1
+            assert meta["forwards"] > 0 and meta["backwards"] > 0
+
+
+class TestStageIntegration:
+    def test_fingerprint_tracks_ladder_mode(self):
+        base = stage_fingerprints(men_config(**TINY))
+        warm = stage_fingerprints(men_config(**TINY, ladder_mode="warm"))
+        differing = {name for name in base if base[name] != warm[name]}
+        assert "attack_grid" in differing
+        # the trained artifacts must not churn
+        assert "classifier" not in differing
+        assert "recommenders" not in differing
+
+    def test_cache_key_ignores_ladder_mode(self):
+        assert (
+            men_config(**TINY).cache_key()
+            == men_config(**TINY, ladder_mode="warm").cache_key()
+        )
+
+    def test_run_manifest_carries_attack_stats(self):
+        runner = StageRunner(men_config(**TINY), verbose=False)
+        results, manifest = runner.run(stages=["attack_grid"])
+        assert manifest.attack_stats is not None
+        stats = manifest.attack_stats
+        assert stats["cells"] == len(results.grid_rows)
+        assert stats["attack_forwards"] > 0
+        assert stats["attack_backwards"] > 0
+        assert stats["ladder_mode"] == "exact"
+        assert "attack grid:" in format_manifest(manifest)
+        for row in results.grid_rows:
+            assert row["ladder_mode"] == "exact"
+            assert row["attack_iterations"] >= 1
+            assert row["attack_forwards"] > 0
+
+    def test_attack_stats_from_rows_empty(self):
+        assert attack_stats_from_rows([]) is None
+
+
+class TestGridRowParity:
+    def test_ladder_rows_match_legacy_rows(self):
+        """The attack_grid stage emits the same numbers via the ladder as
+        via the per-cell loop (modulo the new accounting columns)."""
+        off_results, _ = StageRunner(
+            men_config(**TINY, ladder_mode="off"), verbose=False
+        ).run(stages=["attack_grid"])
+        exact_results, _ = StageRunner(
+            men_config(**TINY, ladder_mode="exact"), verbose=False
+        ).run(stages=["attack_grid"])
+        assert len(off_results.grid_rows) == len(exact_results.grid_rows)
+        ignore = {
+            "ladder_mode",
+            "attack_iterations",
+            "attack_forwards",
+            "attack_backwards",
+            "early_exited",
+        }
+        for a, b in zip(off_results.grid_rows, exact_results.grid_rows):
+            for key in a:
+                if key in ignore:
+                    continue
+                assert a[key] == b[key], key
