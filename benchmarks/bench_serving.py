@@ -6,19 +6,32 @@ same request stream replayed warm, and a replay after a PGD-perturbed
 source category has been pushed through the attack surface (feature
 re-extraction + incremental rescore + fine-grained invalidation).
 
+``test_sharded_scaling_floors`` additionally drives the multi-worker
+tier (:func:`repro.serving.sharded.run_sharded_bench`) over a
+synthetic 10⁵-user system at 1/2/4 workers and enforces the scaling
+floors: ≥1.7× aggregate warm throughput at 2 workers and ≥3× at 4,
+with zero leaked shared-memory segments.
+
 Writes ``BENCH_serving.json`` at the repository root with throughput
-and p50/p95/p99 latency per phase, cache counters and the rolling
-CHR drift of the attacked category.  Marked ``serving_perf`` and
-excluded from the default pytest run; the default tier instead
-exercises the same harness in ``--smoke`` mode (see
-``tests/serving/test_loadgen.py``).
+and p50/p95/p99 latency per phase, cache counters, the rolling CHR
+drift of the attacked category, and the sharded runs under the
+``"sharded"`` key.  Marked ``serving_perf`` and excluded from the
+default pytest run; the default tier instead exercises the same
+harnesses in ``--smoke`` mode (see ``tests/serving/test_loadgen.py``
+and the shard-smoke CI job).
 """
 
+import json
 import os
 
 import pytest
 
-from repro.serving import format_serving_report, run_serving_bench
+from repro.serving import (
+    format_serving_report,
+    format_sharded_report,
+    run_serving_bench,
+    run_sharded_bench,
+)
 
 pytestmark = pytest.mark.serving_perf
 
@@ -55,3 +68,56 @@ def test_serving_load_profile():
     assert inv["scores_changed"]
     assert 0 < inv["invalidated_users"] <= inv["cached_users"]
     assert os.path.exists(OUT_PATH)
+
+
+SHARD_USERS = int(os.environ.get("REPRO_BENCH_SHARD_USERS", "100000"))
+SHARD_REQUESTS = int(os.environ.get("REPRO_BENCH_SHARD_REQUESTS", "60000"))
+
+# The scaling floors BENCH_serving.json must clear: aggregate warm
+# throughput vs the 1-worker baseline, measured as capacity
+# (total requests / slowest shard wall) over interleaved best-of rounds.
+WARM_FLOOR_2W = 1.7
+WARM_FLOOR_4W = 3.0
+
+
+def test_sharded_scaling_floors():
+    payload = run_sharded_bench(
+        num_users=SHARD_USERS,
+        requests=SHARD_REQUESTS,
+        worker_counts=(1, 2, 4),
+        verbose=True,
+    )
+    print("\n" + format_sharded_report(payload))
+
+    assert payload["config"]["num_users"] >= 100_000
+    for run in payload["runs"].values():
+        phases = run["phases"]
+        assert set(phases) == {"cold", "warm_cache", "post_invalidation"}
+        for phase in phases.values():
+            assert phase["throughput_rps"] > 0
+            assert phase["p50_ms"] <= phase["p95_ms"] <= phase["p99_ms"]
+            assert phase["requests"] == sum(
+                shard["requests"] for shard in phase["per_shard"]
+            )
+        assert not run["shm"]["leaked"]
+    # Every worker count serves the identical stream and applies the
+    # identical push, so the invalidation totals must agree exactly.
+    invalidated = {
+        run["invalidation"]["invalidated_users"]
+        for run in payload["runs"].values()
+    }
+    assert len(invalidated) == 1
+
+    scaling = payload["scaling"]
+    assert scaling["warm_2w_vs_1w"] >= WARM_FLOOR_2W, scaling
+    assert scaling["warm_4w_vs_1w"] >= WARM_FLOOR_4W, scaling
+    assert payload["shm"]["leaked"] == 0
+
+    # Merge under the single-process report rather than clobbering it.
+    merged = {}
+    if os.path.exists(OUT_PATH):
+        with open(OUT_PATH, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    merged["sharded"] = payload
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)

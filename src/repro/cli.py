@@ -209,13 +209,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.workers:
+        from .serving import format_sharded_report, run_sharded_bench
+
+        try:
+            worker_counts = tuple(
+                int(part) for part in args.workers.split(",") if part.strip()
+            )
+        except ValueError:
+            print("error: --workers must be comma-separated integers", file=sys.stderr)
+            return 2
+        if not worker_counts or any(count <= 0 for count in worker_counts):
+            print("error: --workers needs positive worker counts", file=sys.stderr)
+            return 2
+        payload = run_sharded_bench(
+            num_users=args.users,
+            num_items=args.items,
+            requests=args.requests or 60_000,
+            top_n=args.top_n,
+            zipf_exponent=args.zipf if args.zipf is not None else 0.9,
+            worker_counts=worker_counts,
+            seed=args.seed,
+            smoke=args.smoke,
+            out_path=args.out,
+            verbose=not args.quiet,
+        )
+        print(format_sharded_report(payload))
+        return 0
+
     from .serving import format_serving_report, run_serving_bench
 
     payload = run_serving_bench(
         scale=args.scale,
-        requests=args.requests,
+        requests=args.requests or 600,
         top_n=args.top_n,
-        zipf_exponent=args.zipf,
+        zipf_exponent=args.zipf if args.zipf is not None else 1.1,
         epsilon_255=args.eps,
         seed=args.seed,
         smoke=args.smoke,
@@ -496,9 +524,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="load-test the serving layer (cold / warm / post-invalidation)",
     )
     serve.add_argument("--scale", type=float, default=0.004, help="dataset scale factor")
-    serve.add_argument("--requests", type=int, default=600, help="requests per phase")
+    serve.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per phase (default 600 single-process, 24000 sharded)",
+    )
     serve.add_argument("--top-n", type=int, default=20, help="serving cutoff N")
-    serve.add_argument("--zipf", type=float, default=1.1, help="traffic skew exponent")
+    serve.add_argument(
+        "--workers", default=None, metavar="N[,N...]",
+        help="run the sharded multi-worker bench at these worker counts "
+        "(synthetic catalog; e.g. --workers 1,2,4)",
+    )
+    serve.add_argument(
+        "--users", type=int, default=100_000,
+        help="synthetic user count for the sharded bench",
+    )
+    serve.add_argument(
+        "--items", type=int, default=2000,
+        help="synthetic catalog size for the sharded bench",
+    )
+    serve.add_argument(
+        "--zipf", type=float, default=None,
+        help="traffic skew exponent (default 1.1 single-process, 0.9 sharded)",
+    )
     serve.add_argument("--eps", type=float, default=8.0, help="attack ε on the 0-255 scale")
     serve.add_argument("--seed", type=int, default=0, help="experiment seed")
     serve.add_argument(

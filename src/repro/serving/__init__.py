@@ -8,6 +8,11 @@ invalidation, :class:`RecommenderService` wires both to a
 :class:`~repro.core.pipeline.TAaMRPipeline` (live feature pushes +
 rolling CHR monitoring), and :mod:`~repro.serving.loadgen` measures the
 request path under deterministic Zipf traffic.
+
+:mod:`repro.serving.sharded` scales the same stack across worker
+processes: shared-memory item-side publication, a user-hashing router
+with async epoch-stamped invalidation fan-out, MostPop failover, and
+the multi-worker benchmark behind ``serve-bench --workers``.
 """
 
 from .index import CacheStats, TopNCache
@@ -19,7 +24,21 @@ from .loadgen import (
     run_serving_bench,
 )
 from .scorer import IncrementalScorer
-from .service import RecommenderService, RollingChrMonitor, UpdateReport
+from .service import (
+    RecommenderService,
+    RollingChrMonitor,
+    UpdateReport,
+    topn_head_row,
+    topn_heads_block,
+)
+from .sharded import (
+    MostPopFallback,
+    Shard,
+    ShardedService,
+    ShardRouter,
+    format_sharded_report,
+    run_sharded_bench,
+)
 
 __all__ = [
     "IncrementalScorer",
@@ -33,4 +52,12 @@ __all__ = [
     "measure_phase",
     "run_serving_bench",
     "format_serving_report",
+    "topn_head_row",
+    "topn_heads_block",
+    "MostPopFallback",
+    "Shard",
+    "ShardRouter",
+    "ShardedService",
+    "format_sharded_report",
+    "run_sharded_bench",
 ]

@@ -40,7 +40,7 @@ from ..core.pipeline import TAaMRPipeline
 from ..core.scenarios import make_scenario
 from ..experiments.config import men_config
 from ..experiments.context import build_context
-from ..rng import rng_from_seed
+from ..rng import derive_rng, rng_from_seed
 from ..telemetry import active_metrics, monotonic, span
 from .service import RecommenderService
 
@@ -51,16 +51,33 @@ class ZipfLoadGenerator:
     User popularity ranks are assigned by a seeded permutation (so user
     0 is not always the hottest), and rank ``r`` gets weight
     ``r^-exponent``.  ``exponent = 0`` degenerates to uniform traffic.
+
+    ``stream`` names a derived RNG stream
+    (:func:`repro.rng.derive_rng`): generators built from the same seed
+    but different stream names draw independent, individually
+    reproducible sequences.  The sharded bench keys streams as
+    ``"sharded.loadgen"`` etc. so multi-process runs stay reproducible
+    and — because one *global* stream is partitioned by ownership rather
+    than one stream drawn per shard — invariant to the shard count.
+    Omitting ``stream`` preserves the original single-process sequences
+    bit for bit.
     """
 
-    def __init__(self, num_users: int, exponent: float = 1.1, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_users: int,
+        exponent: float = 1.1,
+        seed: int = 0,
+        stream: Optional[str] = None,
+    ) -> None:
         if num_users <= 0:
             raise ValueError("num_users must be positive")
         if exponent < 0:
             raise ValueError("exponent must be non-negative")
         self.num_users = num_users
         self.exponent = exponent
-        self._rng = rng_from_seed(seed)
+        self.stream = stream
+        self._rng = rng_from_seed(seed) if stream is None else derive_rng(seed, stream)
         ranks = np.empty(num_users, dtype=np.float64)
         ranks[self._rng.permutation(num_users)] = np.arange(1, num_users + 1)
         weights = ranks**-exponent

@@ -36,6 +36,34 @@ from .index import TopNCache
 from .scorer import IncrementalScorer
 
 
+def topn_head_row(scores: np.ndarray, k: int):
+    """Top-``k`` ``(items, scores)`` of one masked score row, best first.
+
+    The single place the request-path head selection lives: the
+    single-process service and every shard of the sharded tier call
+    this exact function, so their served lists cannot drift apart.
+    """
+    head = np.argpartition(-scores, k - 1)[:k]
+    order = np.argsort(-scores[head], kind="stable")
+    items = head[order]
+    return items, scores[items]
+
+
+def topn_heads_block(block: np.ndarray, k: int):
+    """Yield per-row ``(items, scores)`` heads of a masked score block.
+
+    The warm-start mirror of :func:`topn_head_row` (one block-wise
+    argpartition instead of per-row calls); shared with the sharded
+    tier for the same bitwise-equivalence reason.
+    """
+    heads = np.argpartition(-block, k - 1, axis=1)[:, :k]
+    for row in range(block.shape[0]):
+        head = heads[row]
+        order = np.argsort(-block[row, head], kind="stable")
+        items = head[order]
+        yield items, block[row, items]
+
+
 class RollingChrMonitor:
     """CHR@N over a rolling window of served recommendation lists.
 
@@ -92,6 +120,15 @@ class RollingChrMonitor:
             name: 100.0 * float(self._counts[idx]) / self._slots
             for idx, name in enumerate(self.class_names)
         }
+
+    def counts_snapshot(self):
+        """Raw ``(per-class slot counts, total slots)`` of the window.
+
+        The mergeable form: the shard router aggregates cross-shard CHR
+        by summing counts and slots, which is exact — percentages are
+        not mergeable, counts are.
+        """
+        return self._counts.copy(), int(self._slots)
 
 
 @dataclass
@@ -236,35 +273,39 @@ class RecommenderService:
     def warm_start(self, scores: np.ndarray, user_ids=None) -> int:
         """Prefill the top-N cache from a precomputed clean score matrix.
 
-        ``scores`` is the full ``(num_users, num_items)`` matrix (e.g.
-        the stored ``clean_scores`` stage artifact); ``user_ids``
-        restricts warm-up to a subset.  Seen-item masking matches the
-        request path exactly, so a warmed entry is indistinguishable
-        from one computed on demand.  Returns the number of users
-        warmed.
+        ``scores`` is either the full ``(num_users, num_items)`` matrix
+        (e.g. the stored ``clean_scores`` stage artifact) or, alongside
+        ``user_ids``, a row-aligned block ``(len(user_ids), num_items)``
+        — the sharded tier's shape, where each shard prefills only its
+        own users without ever materialising the full matrix.
+        Seen-item masking matches the request path exactly, so a warmed
+        entry is indistinguishable from one computed on demand.  Returns
+        the number of users warmed.
         """
         scores = np.asarray(scores, dtype=np.float64)
-        if scores.shape != (self.recommender.num_users, self.recommender.num_items):
-            raise ValueError(
-                "warm-start scores must have shape (num_users, num_items); "
-                f"got {scores.shape}"
-            )
+        full_shape = (self.recommender.num_users, self.recommender.num_items)
         user_ids = (
             np.arange(self.recommender.num_users, dtype=np.int64)
             if user_ids is None
             else self.recommender._validate_user_ids(user_ids)
         )
-        block = scores[user_ids].copy()
+        if scores.shape == full_shape:
+            block = scores[user_ids].copy()
+        elif scores.shape == (user_ids.shape[0], self.recommender.num_items):
+            block = np.array(scores, copy=True)
+        else:
+            raise ValueError(
+                "warm-start scores must be (num_users, num_items) or a "
+                "row-aligned (len(user_ids), num_items) block; "
+                f"got {scores.shape}"
+            )
         if self.feedback is not None:
             for row, user in enumerate(user_ids):
                 block[row, self.feedback.train_items[int(user)]] = -np.inf
-        k = self.index.n
-        heads = np.argpartition(-block, k - 1, axis=1)[:, :k]
-        for row, user in enumerate(user_ids):
-            head = heads[row]
-            order = np.argsort(-block[row, head], kind="stable")
-            items = head[order]
-            self.index.put(int(user), items, block[row, items])
+        for row, (items, head_scores) in enumerate(
+            topn_heads_block(block, self.index.n)
+        ):
+            self.index.put(int(user_ids[row]), items, head_scores)
         return int(user_ids.size)
 
     # ------------------------------------------------------------------ #
@@ -275,11 +316,7 @@ class RecommenderService:
         scores = self.scorer.score_block([user])[0]
         if self.feedback is not None:
             scores[self.feedback.train_items[user]] = -np.inf
-        k = self.index.n
-        head = np.argpartition(-scores, k - 1)[:k]
-        order = np.argsort(-scores[head], kind="stable")
-        items = head[order]
-        return items, scores[items]
+        return topn_head_row(scores, self.index.n)
 
     def _serve(self, user: int, n: int) -> tuple:
         """The unmeasured request path; returns ``(served, cache_hit)``."""

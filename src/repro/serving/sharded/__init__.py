@@ -1,0 +1,70 @@
+"""Sharded multi-worker serving tier.
+
+Partitions the user universe across worker processes, each owning a
+scorer + top-N cache slice, with the item-side scoring precompute
+published once into shared memory (:mod:`repro.serving.sharded.shm`).
+A :class:`ShardRouter` front-end hashes users to shards, fans
+epoch-stamped invalidation pushes out asynchronously, fails dead shards
+over to an attack-immune MostPop ranker, and aggregates cache/CHR
+telemetry across the fleet.  ``python -m repro serve-bench --workers``
+drives :func:`run_sharded_bench` over a ≥10⁵-user synthetic system.
+"""
+
+from .driver import (
+    SYNTHETIC_CLASS_NAMES,
+    ShardedPhaseStats,
+    build_synthetic_system,
+    format_sharded_report,
+    run_sharded_bench,
+    run_sharded_phase,
+)
+from .partition import UserPartition
+from .router import MostPopFallback, ShardedService, ShardRouter
+from .scorer import ITEM_SIDE_KINDS, SharedScorer, compute_item_side, item_side_kind
+from .shard import Shard, ShardSpec, ShardUpdateReport
+from .shm import (
+    ArrayBank,
+    SharedArrayBundle,
+    SharedArraySpec,
+    ShmManifest,
+    attach_bundle,
+    segment_exists,
+)
+from .worker import (
+    LocalShardHandle,
+    ProcessShardHandle,
+    ShardError,
+    ShardTimeout,
+    shard_worker_main,
+)
+
+__all__ = [
+    "ArrayBank",
+    "ITEM_SIDE_KINDS",
+    "LocalShardHandle",
+    "MostPopFallback",
+    "ProcessShardHandle",
+    "SYNTHETIC_CLASS_NAMES",
+    "Shard",
+    "ShardError",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardTimeout",
+    "ShardUpdateReport",
+    "ShardedPhaseStats",
+    "ShardedService",
+    "SharedArrayBundle",
+    "SharedArraySpec",
+    "SharedScorer",
+    "ShmManifest",
+    "UserPartition",
+    "attach_bundle",
+    "build_synthetic_system",
+    "compute_item_side",
+    "format_sharded_report",
+    "item_side_kind",
+    "run_sharded_bench",
+    "run_sharded_phase",
+    "segment_exists",
+    "shard_worker_main",
+]

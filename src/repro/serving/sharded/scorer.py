@@ -1,0 +1,342 @@
+"""Zero-copy shard scorer over a published item-side array bank.
+
+:func:`compute_item_side` derives, once per deployment, exactly the
+item-side state :class:`~repro.serving.scorer.IncrementalScorer` would
+precompute — the visual projection ``F·E``, the visual-bias column
+``F·β``, item biases/factors (and ``E``/``β`` themselves, needed to
+fold feature *updates* in).  :class:`SharedScorer` then answers
+per-user-block requests for one shard against read-only views of that
+bank (shared memory in worker processes, an in-process snapshot for
+local shards) plus the shard's own slice of the user-side factors.
+
+Attack-driven updates never write the shared bank — it is immutable by
+construction.  Instead each shard keeps a sparse *overlay* of updated
+item rows; scoring patches exactly the overlaid columns with the same
+arithmetic (same expression shapes, same addition order) the dense
+scorer uses, so a sharded deployment serves bitwise-identical lists to
+a single-process :class:`~repro.serving.service.RecommenderService`.
+When an overlay grows past ``escalate_fraction`` of the catalog the
+shard *escalates*: it materialises a private dense copy of the item
+side (base ⊕ overlay) and continues with plain dense scoring — the
+copy-on-write backstop that keeps heavily-churned shards from paying a
+per-request patch over half the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...recommenders.bprmf import BPRMF
+from ...recommenders.mostpop import MostPop
+from ...recommenders.vbpr import VBPR
+from .shm import ArrayBank
+
+#: scorer kinds a shard can host; AMR is a VBPR subclass and maps to "vbpr".
+ITEM_SIDE_KINDS = ("bprmf", "vbpr", "mostpop")
+
+
+def item_side_kind(recommender) -> str:
+    """Classify a fitted recommender for item-side publication."""
+    if isinstance(recommender, MostPop):
+        return "mostpop"
+    if isinstance(recommender, VBPR):  # covers AMR
+        return "vbpr"
+    if isinstance(recommender, BPRMF):
+        return "bprmf"
+    raise TypeError(
+        "sharded serving supports BPRMF, VBPR/AMR and MostPop; "
+        f"got {type(recommender).__name__}"
+    )
+
+
+def compute_item_side(
+    recommender, features: Optional[np.ndarray] = None
+) -> Tuple[str, Dict[str, np.ndarray]]:
+    """The publish-once item-side arrays for ``recommender``.
+
+    Mirrors :class:`IncrementalScorer`'s construction bit for bit: the
+    same float64 coercion, the same ``F @ E`` / ``F @ β`` products —
+    a shard scoring against the published bank and a single-process
+    scorer constructed from the same model start from identical state.
+    """
+    if not recommender.is_fitted:
+        raise RuntimeError("recommender must be fitted before publication")
+    kind = item_side_kind(recommender)
+    if kind == "mostpop":
+        if features is not None:
+            raise ValueError("MostPop has no visual pathway; features must be None")
+        return kind, {"item_counts": np.array(recommender.item_counts, dtype=np.float64)}
+    arrays = {
+        "item_bias": np.array(recommender.item_bias, dtype=np.float64),
+        "item_factors": np.array(recommender.item_factors, dtype=np.float64),
+    }
+    if kind == "bprmf":
+        if features is not None:
+            raise ValueError("BPRMF has no visual pathway; features must be None")
+        return kind, arrays
+    feats = recommender.features if features is None else features
+    feats = np.array(feats, dtype=np.float64, copy=True)
+    if feats.shape != (recommender.num_items, recommender.feature_dim):
+        raise ValueError("features must have shape (num_items, D)")
+    arrays["features"] = feats
+    arrays["visual_items"] = feats @ recommender.embedding  # F·E, (|I|, A)
+    arrays["visual_bias_scores"] = feats @ recommender.visual_bias  # F·β, (|I|,)
+    arrays["embedding"] = np.array(recommender.embedding, dtype=np.float64)
+    arrays["visual_bias"] = np.array(recommender.visual_bias, dtype=np.float64)
+    return kind, arrays
+
+
+class SharedScorer:
+    """One shard's scoring engine: shared item side + owned user slice.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`ITEM_SIDE_KINDS`.
+    bank:
+        Read-only item-side arrays (from :func:`compute_item_side`, via
+        shm or an in-process snapshot).
+    num_users / num_items:
+        Global universe sizes (user ids stay global everywhere).
+    user_ids:
+        The global user ids this shard owns.
+    user_factors / visual_user_factors:
+        The owned rows of the user-side matrices, aligned with
+        ``user_ids`` (None where the model kind has none).
+    escalate_fraction:
+        Overlay size (as a fraction of the catalog) beyond which the
+        shard materialises a private dense item side.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        bank: ArrayBank,
+        num_users: int,
+        num_items: int,
+        user_ids: np.ndarray,
+        user_factors: Optional[np.ndarray] = None,
+        visual_user_factors: Optional[np.ndarray] = None,
+        escalate_fraction: float = 0.25,
+    ) -> None:
+        if kind not in ITEM_SIDE_KINDS:
+            raise ValueError(f"unknown scorer kind {kind!r}")
+        if not 0.0 < escalate_fraction <= 1.0:
+            raise ValueError("escalate_fraction must lie in (0, 1]")
+        self.kind = kind
+        self.bank = bank
+        self.num_users = num_users
+        self.num_items = num_items
+        self.is_visual = kind == "vbpr"
+        self.escalate_fraction = escalate_fraction
+        self.feature_updates = 0  # update calls, including non-visual no-ops
+
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        if user_ids.ndim != 1 or user_ids.size == 0:
+            raise ValueError("user_ids must be a non-empty 1-D array")
+        self.user_ids = user_ids
+        # Global-id -> local-row translation; -1 marks "not owned".
+        self._row_of = np.full(num_users, -1, dtype=np.int64)
+        self._row_of[user_ids] = np.arange(user_ids.size, dtype=np.int64)
+
+        if kind == "mostpop":
+            if user_factors is not None or visual_user_factors is not None:
+                raise ValueError("MostPop shards carry no user factors")
+            self._user_factors = None
+            self._visual_user_factors = None
+        else:
+            user_factors = np.asarray(user_factors, dtype=np.float64)
+            if user_factors.shape[0] != user_ids.size:
+                raise ValueError("user_factors rows must align with user_ids")
+            self._user_factors = user_factors
+            if self.is_visual:
+                visual_user_factors = np.asarray(visual_user_factors, dtype=np.float64)
+                if visual_user_factors.shape[0] != user_ids.size:
+                    raise ValueError("visual_user_factors rows must align with user_ids")
+                self._visual_user_factors = visual_user_factors
+            else:
+                if visual_user_factors is not None:
+                    raise ValueError("BPRMF shards carry no visual user factors")
+                self._visual_user_factors = None
+
+        # Sparse overlay of updated items: id -> (features, F·E row, F·β).
+        self._overlay: Dict[int, Tuple[np.ndarray, np.ndarray, float]] = {}
+        self._overlay_ids: Optional[np.ndarray] = None  # sorted cache
+        # Escalated (copy-on-write) dense item side; None until needed.
+        self._dense: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # Validation / translation
+    # ------------------------------------------------------------------ #
+    def owns(self, user: int) -> bool:
+        return 0 <= int(user) < self.num_users and self._row_of[int(user)] >= 0
+
+    def _rows(self, user_ids) -> np.ndarray:
+        user_ids = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        if user_ids.ndim != 1 or user_ids.size == 0:
+            raise ValueError("user_ids must be a non-empty scalar or 1-D sequence")
+        if user_ids.min() < 0 or user_ids.max() >= self.num_users:
+            raise ValueError(f"user_ids must lie in [0, {self.num_users})")
+        rows = self._row_of[user_ids]
+        if (rows < 0).any():
+            foreign = user_ids[rows < 0]
+            raise ValueError(
+                f"users {foreign[:8].tolist()} are not owned by this shard"
+            )
+        return rows
+
+    def _validate_item_ids(self, item_ids) -> np.ndarray:
+        item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
+        if item_ids.ndim != 1:
+            raise ValueError("item_ids must be a scalar or 1-D sequence")
+        if item_ids.size == 0:
+            raise ValueError("item_ids must not be empty")
+        if item_ids.min() < 0 or item_ids.max() >= self.num_items:
+            raise ValueError(
+                f"item_ids must lie in [0, {self.num_items}); "
+                f"got range [{item_ids.min()}, {item_ids.max()}]"
+            )
+        return item_ids
+
+    # ------------------------------------------------------------------ #
+    # Item-side state resolution (bank / overlay / escalated dense)
+    # ------------------------------------------------------------------ #
+    @property
+    def escalated(self) -> bool:
+        """Has this shard gone copy-on-write on the item side?"""
+        return self._dense is not None
+
+    @property
+    def overlay_size(self) -> int:
+        return len(self._overlay)
+
+    def _visual_state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current ``(F·E, F·β)`` — dense copy when escalated, base bank otherwise."""
+        if self._dense is not None:
+            return self._dense["visual_items"], self._dense["visual_bias_scores"]
+        return self.bank["visual_items"], self.bank["visual_bias_scores"]
+
+    def _overlay_id_array(self) -> np.ndarray:
+        if self._overlay_ids is None:
+            self._overlay_ids = np.array(sorted(self._overlay), dtype=np.int64)
+        return self._overlay_ids
+
+    def _escalate(self) -> None:
+        """Materialise a private dense item side (base ⊕ overlay)."""
+        dense = {
+            "features": np.array(self.bank["features"], copy=True),
+            "visual_items": np.array(self.bank["visual_items"], copy=True),
+            "visual_bias_scores": np.array(self.bank["visual_bias_scores"], copy=True),
+        }
+        for item, (feats, visual_row, bias_score) in self._overlay.items():
+            dense["features"][item] = feats
+            dense["visual_items"][item] = visual_row
+            dense["visual_bias_scores"][item] = bias_score
+        self._dense = dense
+        self._overlay.clear()
+        self._overlay_ids = None
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score_block(self, user_ids) -> np.ndarray:
+        """Scores ``(len(user_ids), num_items)`` for owned users."""
+        if self.kind == "mostpop":
+            rows = self._rows(user_ids)
+            return np.broadcast_to(
+                self.bank["item_counts"][None, :], (rows.shape[0], self.num_items)
+            ).copy()
+        rows = self._rows(user_ids)
+        scores = (
+            self.bank["item_bias"][None, :]
+            + self._user_factors[rows] @ self.bank["item_factors"].T
+        )
+        if self.is_visual:
+            visual_items, visual_bias_scores = self._visual_state()
+            scores += self._visual_user_factors[rows] @ visual_items.T
+            scores += visual_bias_scores[None, :]
+            if self._overlay:
+                ids = self._overlay_id_array()
+                scores[:, ids] = self._score_overlaid_columns(rows, ids)
+        return scores
+
+    def _score_overlaid_columns(self, rows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Recompute the overlaid columns with the dense scorer's addition order."""
+        visual_rows = np.stack([self._overlay[int(i)][1] for i in ids])
+        bias_rows = np.array([self._overlay[int(i)][2] for i in ids], dtype=np.float64)
+        cols = (
+            self.bank["item_bias"][ids][None, :]
+            + self._user_factors[rows] @ self.bank["item_factors"][ids].T
+        )
+        cols += self._visual_user_factors[rows] @ visual_rows.T
+        cols += bias_rows[None, :]
+        return cols
+
+    def score_items(self, user_ids, item_ids) -> np.ndarray:
+        """Scores of selected columns (the cache-invalidation path)."""
+        item_ids = self._validate_item_ids(item_ids)
+        if self.kind == "mostpop":
+            rows = self._rows(user_ids)
+            return np.broadcast_to(
+                self.bank["item_counts"][item_ids][None, :],
+                (rows.shape[0], item_ids.shape[0]),
+            ).copy()
+        rows = self._rows(user_ids)
+        scores = (
+            self.bank["item_bias"][item_ids][None, :]
+            + self._user_factors[rows] @ self.bank["item_factors"][item_ids].T
+        )
+        if self.is_visual:
+            visual_items, visual_bias_scores = self._visual_state()
+            visual_sel = np.array(visual_items[item_ids], copy=True)
+            bias_sel = np.array(visual_bias_scores[item_ids], copy=True)
+            if self._overlay:
+                for pos, item in enumerate(item_ids):
+                    entry = self._overlay.get(int(item))
+                    if entry is not None:
+                        visual_sel[pos] = entry[1]
+                        bias_sel[pos] = entry[2]
+            scores += self._visual_user_factors[rows] @ visual_sel.T
+            scores += bias_sel[None, :]
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def update_item_features(self, item_ids, item_features) -> bool:
+        """Fold new features for ``item_ids`` into this shard's view.
+
+        Returns True when scores moved (visual models).  Non-visual
+        kinds record the call and return False — the attack-immune
+        contract of :class:`IncrementalScorer` carried over.  With
+        duplicate ids the last write wins.
+        """
+        item_ids = self._validate_item_ids(item_ids)
+        self.feature_updates += 1
+        if not self.is_visual:
+            return False
+        item_features = np.asarray(item_features, dtype=np.float64)
+        feature_dim = self.bank["embedding"].shape[0]
+        if item_features.shape != (item_ids.shape[0], feature_dim):
+            raise ValueError("item_features must have shape (len(item_ids), D)")
+        if not np.isfinite(item_features).all():
+            raise ValueError("item_features contain non-finite values")
+        visual_rows = item_features @ self.bank["embedding"]
+        bias_rows = item_features @ self.bank["visual_bias"]
+        if self._dense is not None:
+            self._dense["features"][item_ids] = item_features
+            self._dense["visual_items"][item_ids] = visual_rows
+            self._dense["visual_bias_scores"][item_ids] = bias_rows
+            return True
+        for pos, item in enumerate(item_ids):
+            self._overlay[int(item)] = (
+                item_features[pos],
+                visual_rows[pos],
+                float(bias_rows[pos]),
+            )
+        self._overlay_ids = None
+        if len(self._overlay) > self.escalate_fraction * self.num_items:
+            self._escalate()
+        return True

@@ -1,0 +1,310 @@
+"""One serving shard: a user slice's scorer + cache + epoch-ordered updates.
+
+A :class:`Shard` is the single-process serving stack
+(:class:`~repro.serving.index.TopNCache`,
+:class:`~repro.serving.service.RollingChrMonitor`, the same head
+selection via :func:`~repro.serving.service.topn_head_row`) scoped to
+the users one worker owns, scoring through a
+:class:`~repro.serving.sharded.scorer.SharedScorer` over the published
+item side.  The same class runs in-process (local handles, used by the
+bitwise-equivalence tests) and inside worker processes
+(:meth:`from_spec` attaches the shared-memory bank).
+
+**Epoch ordering.**  The router stamps every invalidation fan-out with
+a monotonically increasing epoch.  :meth:`submit_update` applies epochs
+in strictly contiguous order: a future epoch is *buffered* until the
+gap fills, a stale or duplicate epoch is *dropped* — so out-of-order or
+replayed delivery can neither apply updates backwards nor resurrect a
+cache entry that a later epoch already invalidated.  The pending buffer
+is bounded (``max_pending``); overflowing it is a hard error that the
+worker surfaces and the router answers by failing the shard over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..index import TopNCache
+from ..service import RollingChrMonitor, topn_head_row, topn_heads_block
+from .scorer import SharedScorer
+from .shm import ShmManifest, attach_bundle
+
+
+@dataclass
+class ShardSpec:
+    """Everything a worker process needs to build its shard (picklable).
+
+    The big arrays are *not* here: the item side travels as a
+    :class:`ShmManifest` (attach, don't copy) and only the shard's own
+    user-side rows ride along.
+    """
+
+    shard_id: int
+    num_shards: int
+    num_users: int
+    num_items: int
+    kind: str
+    manifest: ShmManifest
+    user_ids: np.ndarray
+    user_factors: Optional[np.ndarray] = None
+    visual_user_factors: Optional[np.ndarray] = None
+    n: int = 10
+    train_items: Optional[Dict[int, np.ndarray]] = None
+    seen_sets: Optional[Dict[int, Set[int]]] = None
+    item_classes: Optional[np.ndarray] = None
+    class_names: Optional[Tuple[str, ...]] = None
+    monitor_window: int = 256
+    max_pending: int = 64
+    escalate_fraction: float = 0.25
+
+
+@dataclass
+class ShardUpdateReport:
+    """What one epoch-stamped delivery did to shard state."""
+
+    epoch: int
+    applied_epochs: List[int] = field(default_factory=list)
+    buffered: bool = False
+    stale: bool = False
+    invalidated_users: int = 0
+    scores_changed: bool = False
+
+    def as_dict(self) -> Dict:
+        return {
+            "epoch": self.epoch,
+            "applied_epochs": list(self.applied_epochs),
+            "buffered": self.buffered,
+            "stale": self.stale,
+            "invalidated_users": self.invalidated_users,
+            "scores_changed": self.scores_changed,
+        }
+
+
+class Shard:
+    """Serving state for one user slice (see module docstring)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        scorer: SharedScorer,
+        n: int = 10,
+        train_items=None,
+        seen_sets=None,
+        item_classes: Optional[np.ndarray] = None,
+        class_names: Optional[Sequence[str]] = None,
+        monitor_window: int = 256,
+        max_pending: int = 64,
+        bank_closer=None,
+    ) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.shard_id = shard_id
+        self.scorer = scorer
+        self.user_ids = scorer.user_ids
+        self.index = TopNCache(n, scorer.num_items, seen_items=seen_sets)
+        self.n = self.index.n
+        self._train_items = train_items
+        self.max_pending = max_pending
+        self._bank_closer = bank_closer
+
+        self.monitor: Optional[RollingChrMonitor] = None
+        if item_classes is not None:
+            if class_names is None:
+                raise ValueError("class_names required alongside item_classes")
+            self.monitor = RollingChrMonitor(
+                item_classes, class_names, window=monitor_window
+            )
+
+        self.applied_epoch = 0  # epochs are 1-based; 0 = pristine
+        self._pending: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self.stale_updates = 0  # duplicate / already-applied deliveries dropped
+
+    @classmethod
+    def from_spec(cls, spec: ShardSpec) -> "Shard":
+        """Worker-process constructor: attach the shm bank, build the shard."""
+        bank = attach_bundle(spec.manifest)
+        scorer = SharedScorer(
+            spec.kind,
+            bank,
+            num_users=spec.num_users,
+            num_items=spec.num_items,
+            user_ids=spec.user_ids,
+            user_factors=spec.user_factors,
+            visual_user_factors=spec.visual_user_factors,
+            escalate_fraction=spec.escalate_fraction,
+        )
+        return cls(
+            spec.shard_id,
+            scorer,
+            n=spec.n,
+            train_items=spec.train_items,
+            seen_sets=spec.seen_sets,
+            item_classes=spec.item_classes,
+            class_names=spec.class_names,
+            monitor_window=spec.monitor_window,
+            max_pending=spec.max_pending,
+            bank_closer=bank.close,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def owns(self, user: int) -> bool:
+        return self.scorer.owns(user)
+
+    def _compute_entry(self, user: int):
+        scores = self.scorer.score_block([user])[0]
+        if self._train_items is not None:
+            scores[self._train_items[user]] = -np.inf
+        return topn_head_row(scores, self.index.n)
+
+    def recommend(self, user: int, n: Optional[int] = None) -> np.ndarray:
+        """Top-``n`` for an owned user; identical math to the facade."""
+        n = self.n if n is None else n
+        if n <= 0 or n > self.n:
+            raise ValueError(f"n must be in [1, {self.n}] (the serving cutoff)")
+        user = int(user)
+        if not self.owns(user):
+            raise ValueError(f"user {user} is not owned by shard {self.shard_id}")
+        items = self.index.get(user)
+        if items is None:
+            items, scores = self._compute_entry(user)
+            self.index.put(user, items, scores)
+        served = items[:n]
+        if self.monitor is not None:
+            self.monitor.observe(served)
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Warm start
+    # ------------------------------------------------------------------ #
+    def warm_start(self, scores: np.ndarray, user_ids=None) -> int:
+        """Prefill owned users from a score matrix or row-aligned block.
+
+        ``scores`` may be the full global ``(num_users, num_items)``
+        matrix (rows for this shard's users are sliced out — e.g. a
+        shared-memory view of the ``clean_scores`` artifact) or a block
+        already aligned with ``user_ids`` (defaulting to every owned
+        user).  Masking and head selection mirror
+        :meth:`RecommenderService.warm_start` exactly.
+        """
+        user_ids = (
+            self.user_ids
+            if user_ids is None
+            else np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        )
+        for user in user_ids:
+            if not self.owns(int(user)):
+                raise ValueError(
+                    f"user {int(user)} is not owned by shard {self.shard_id}"
+                )
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape == (self.scorer.num_users, self.scorer.num_items):
+            block = scores[user_ids].copy()
+        elif scores.shape == (user_ids.shape[0], self.scorer.num_items):
+            block = np.array(scores, copy=True)
+        else:
+            raise ValueError(
+                "warm-start scores must be (num_users, num_items) or a "
+                f"row-aligned (len(user_ids), num_items) block; got {scores.shape}"
+            )
+        if self._train_items is not None:
+            for row, user in enumerate(user_ids):
+                block[row, self._train_items[int(user)]] = -np.inf
+        for row, (items, head_scores) in enumerate(
+            topn_heads_block(block, self.index.n)
+        ):
+            self.index.put(int(user_ids[row]), items, head_scores)
+        return int(user_ids.size)
+
+    # ------------------------------------------------------------------ #
+    # Update path (epoch-ordered)
+    # ------------------------------------------------------------------ #
+    def submit_update(
+        self, epoch: int, item_ids, item_features
+    ) -> ShardUpdateReport:
+        """Deliver one epoch-stamped feature push (may arrive out of order)."""
+        epoch = int(epoch)
+        if epoch <= 0:
+            raise ValueError("epochs are 1-based and positive")
+        report = ShardUpdateReport(epoch=epoch)
+        if epoch <= self.applied_epoch or epoch in self._pending:
+            # Stale or duplicate delivery: already folded in (or queued).
+            # Re-applying would re-run invalidation against *newer* cache
+            # entries — the resurrect-stale-entries bug the ordering test
+            # pins down — so it is dropped outright.
+            self.stale_updates += 1
+            report.stale = True
+            return report
+        item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
+        item_features = (
+            None if item_features is None else np.asarray(item_features, dtype=np.float64)
+        )
+        self._pending[epoch] = (item_ids, item_features)
+        if len(self._pending) > self.max_pending:
+            self._pending.clear()
+            raise RuntimeError(
+                f"shard {self.shard_id}: update backlog exceeded "
+                f"{self.max_pending} buffered epochs (next expected "
+                f"{self.applied_epoch + 1}, got {epoch})"
+            )
+        while (self.applied_epoch + 1) in self._pending:
+            next_epoch = self.applied_epoch + 1
+            ids, feats = self._pending.pop(next_epoch)
+            changed, invalidated = self._apply_update(ids, feats)
+            self.applied_epoch = next_epoch
+            report.applied_epochs.append(next_epoch)
+            report.invalidated_users += invalidated
+            report.scores_changed = report.scores_changed or changed
+        report.buffered = epoch not in report.applied_epochs
+        return report
+
+    def _apply_update(self, item_ids: np.ndarray, item_features) -> Tuple[bool, int]:
+        cached = self.index.cached_users()
+        changed = self.scorer.update_item_features(item_ids, item_features)
+        if not (changed and cached):
+            return changed, 0
+        new_columns = self.scorer.score_items(cached, item_ids)
+        invalidated = self.index.apply_update(cached, item_ids, new_columns)
+        return changed, len(invalidated)
+
+    @property
+    def pending_epochs(self) -> List[int]:
+        return sorted(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict:
+        """Mergeable shard state for router-side aggregation."""
+        payload = {
+            "shard_id": self.shard_id,
+            "users": int(self.user_ids.size),
+            "cache": self.index.stats.as_dict(),
+            "cache_size": len(self.index),
+            "feature_updates": self.scorer.feature_updates,
+            "applied_epoch": self.applied_epoch,
+            "pending_epochs": self.pending_epochs,
+            "stale_updates": self.stale_updates,
+            "overlay_items": self.scorer.overlay_size,
+            "escalated": self.scorer.escalated,
+        }
+        if self.monitor is not None:
+            counts, slots = self.monitor.counts_snapshot()
+            payload["monitor"] = {
+                "counts": counts.tolist(),
+                "slots": slots,
+                "observed": self.monitor.observed,
+                "class_names": list(self.monitor.class_names),
+            }
+        return payload
+
+    def close(self) -> None:
+        """Drop cache state and release the shm attachment (idempotent)."""
+        self.index.clear()
+        if self._bank_closer is not None:
+            closer, self._bank_closer = self._bank_closer, None
+            closer()

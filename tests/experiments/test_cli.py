@@ -164,8 +164,18 @@ class TestServeBenchCommand:
     def test_serve_bench_defaults(self):
         args = build_parser().parse_args(["serve-bench"])
         assert args.out == "BENCH_serving.json"
-        assert args.requests == 600
+        # None at parse time: the single-process path substitutes 600
+        # requests / zipf 1.1, the sharded path 60000 / 0.9.
+        assert args.requests is None
+        assert args.zipf is None
+        assert args.workers is None
+        assert args.users == 100_000
+        assert args.items == 2000
         assert not args.smoke
+
+    def test_serve_bench_workers_parses_counts(self):
+        args = build_parser().parse_args(["serve-bench", "--workers", "1,2,4"])
+        assert args.workers == "1,2,4"
 
 
 class TestRunCommand:
