@@ -1,10 +1,12 @@
 """Serving-layer load benchmark — cold vs cached vs post-invalidation.
 
 Runs the Zipf load generator against a :class:`RecommenderService`
-built from a trained VBPR pipeline, in three phases: cold cache, the
-same request stream replayed warm, and a replay after a PGD-perturbed
+built from a trained VBPR pipeline, in four phases: cold cache, the
+same request stream replayed warm, a replay after a PGD-perturbed
 source category has been pushed through the attack surface (feature
-re-extraction + incremental rescore + fine-grained invalidation).
+re-extraction + incremental rescore + fine-grained invalidation), and
+a defended replay with the reconstruction screen on the ingest path
+(quarantined pushes never touch the scorer or the cache).
 
 ``test_sharded_scaling_floors`` additionally drives the multi-worker
 tier (:func:`repro.serving.sharded.run_sharded_bench`) over a
@@ -54,10 +56,14 @@ def test_serving_load_profile():
     print("\n" + format_serving_report(payload))
 
     phases = payload["phases"]
-    assert set(phases) == {"cold", "warm_cache", "post_invalidation"}
+    assert set(phases) == {"cold", "warm_cache", "post_invalidation", "defended"}
     for phase in phases.values():
         assert phase["throughput_rps"] > 0
         assert phase["p50_ms"] <= phase["p95_ms"] <= phase["p99_ms"]
+    # The defended phase carries the ingest-screen outcome.
+    assert 0.0 <= phases["defended"]["detection_rate"] <= 1.0
+    assert "added_p95_ms" in phases["defended"]
+    assert 0.0 <= payload["screen"]["clean_false_positive_rate"] <= 1.0
 
     # The tentpole claim: cached serving is meaningfully faster than
     # scoring from scratch (a hit is a dict lookup vs a GEMM + argpartition).
@@ -92,7 +98,8 @@ def test_sharded_scaling_floors():
     assert payload["config"]["num_users"] >= 100_000
     for run in payload["runs"].values():
         phases = run["phases"]
-        assert set(phases) == {"cold", "warm_cache", "post_invalidation"}
+        assert set(phases) == {"cold", "warm_cache", "post_invalidation", "defended"}
+        assert 0.0 <= phases["defended"]["detection_rate"] <= 1.0
         for phase in phases.values():
             assert phase["throughput_rps"] > 0
             assert phase["p50_ms"] <= phase["p95_ms"] <= phase["p99_ms"]

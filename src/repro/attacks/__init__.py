@@ -6,6 +6,7 @@ from .evaluation import (
     default_attack_factories,
     misclassification_rate,
     success_rate_grid,
+    targeted_success_rate,
 )
 from .cw import CarliniWagnerL2
 from .fgsm import FGSM
@@ -48,6 +49,7 @@ __all__ = [
     "success_rate_grid",
     "default_attack_factories",
     "misclassification_rate",
+    "targeted_success_rate",
     "TransferResult",
     "evaluate_transfer",
     "transfer_matrix",

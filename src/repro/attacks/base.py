@@ -64,6 +64,11 @@ class AttackResult:
         """The paper's Table III quantity: fraction of successful images."""
         if self.num_images == 0:
             return 0.0
+        if self.target_class is not None:
+            # Imported late: evaluation.py imports AttackResult from here.
+            from .evaluation import targeted_success_rate
+
+            return targeted_success_rate(self.adversarial_predictions, self.target_class)
         return float(self.success_mask().mean())
 
     def linf_distances(self, clean_images: np.ndarray) -> np.ndarray:

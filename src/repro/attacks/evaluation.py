@@ -22,6 +22,21 @@ from .projections import epsilon_from_255
 AttackFactory = Callable[[TinyResNet, float], GradientAttack]
 
 
+def targeted_success_rate(predictions: np.ndarray, target_class: int) -> float:
+    """Fraction of ``predictions`` equal to ``target_class``.
+
+    The single definition of targeted attack success (the paper's
+    Table III quantity).  Every surface that reports success — attack
+    results, transfer evaluation, grid rows, the scenario-matrix cube
+    and run manifests — funnels through this helper so the accounting
+    cannot drift between them.
+    """
+    predictions = np.asarray(predictions)
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == int(target_class)).mean())
+
+
 def default_attack_factories(num_steps: int = 10, seed: int = 0) -> Dict[str, AttackFactory]:
     """The paper's two attacks, keyed by name."""
     return {

@@ -90,8 +90,18 @@ class NESAttack:
         weights = (losses_plus - losses_minus).reshape(-1, 1, 1, 1)
         return (weights * probes).sum(axis=0) / (2.0 * self.sigma * self.samples_per_step)
 
-    def attack(self, images: np.ndarray, target_class: int) -> AttackResult:
-        """Targeted attack on NCHW images using probability queries only."""
+    def attack(
+        self,
+        images: np.ndarray,
+        target_class: int,
+        original_predictions: Optional[np.ndarray] = None,
+    ) -> AttackResult:
+        """Targeted attack on NCHW images using probability queries only.
+
+        ``original_predictions`` skips the initial clean-prediction pass
+        when the caller already classified the images (the grid path),
+        matching the :class:`GradientAttack` signature.
+        """
         images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be NCHW")
@@ -99,7 +109,12 @@ class NESAttack:
             raise ValueError("target_class out of range")
         self.queries_used = 0
 
-        original = self.model.predict(images, batch_size=self.batch_size)
+        if original_predictions is not None:
+            original = np.asarray(original_predictions, dtype=np.int64)
+            if original.shape[0] != images.shape[0]:
+                raise ValueError("original_predictions length mismatch")
+        else:
+            original = self.model.predict(images, batch_size=self.batch_size)
         adversarial = images.copy()
         for index in range(images.shape[0]):
             current = images[index].copy()

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..nn import TinyResNet
 from .base import AttackResult, GradientAttack
+from .evaluation import targeted_success_rate
 
 AttackBuilder = Callable[[TinyResNet], GradientAttack]
 
@@ -59,7 +60,7 @@ def evaluate_transfer(
         surrogate_name=surrogate_name,
         victim_name=victim_name,
         white_box_success=result.success_rate(),
-        transfer_success=float((victim_predictions == target_class).mean()),
+        transfer_success=targeted_success_rate(victim_predictions, target_class),
         target_class=target_class,
     )
 

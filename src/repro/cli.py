@@ -316,6 +316,102 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as json_module
+
+    from .artifacts import ArtifactStore
+    from .experiments import MatrixConfig, MatrixRunner, format_cube
+    from .experiments.stages import format_plan
+
+    factory = men_config if args.dataset == "men" else women_config
+    overrides = dict(scale=args.scale, seed=args.seed, cutoff=args.cutoff)
+    if args.epsilons:
+        try:
+            overrides["epsilons_255"] = tuple(
+                float(part) for part in args.epsilons.split(",") if part.strip()
+            )
+        except ValueError:
+            print("error: --epsilons must be comma-separated numbers", file=sys.stderr)
+            return 2
+    if args.pgd_steps is not None:
+        overrides["pgd_steps"] = args.pgd_steps
+    if args.ladder is not None:
+        overrides["ladder_mode"] = args.ladder
+    base = factory(**overrides)
+
+    def split(value: str) -> tuple:
+        return tuple(part.strip() for part in value.split(",") if part.strip())
+
+    # Per-defense / per-attack knobs arrive as --set field=value pairs,
+    # coerced by the MatrixConfig field's declared type.
+    knob_types = {
+        f.name: f.type
+        for f in dataclasses.fields(MatrixConfig)
+        if f.name not in ("base", "attacks", "defenses", "recommenders")
+    }
+    knobs = {}
+    for pair in args.set or ():
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        if key not in knob_types:
+            print(
+                f"error: unknown matrix field '{key}'; available: {sorted(knob_types)}",
+                file=sys.stderr,
+            )
+            return 2
+        caster = int if str(knob_types[key]) in ("int", "<class 'int'>") else float
+        try:
+            knobs[key] = caster(raw)
+        except ValueError:
+            print(f"error: cannot parse --set {pair}", file=sys.stderr)
+            return 2
+
+    try:
+        config = MatrixConfig(
+            base=base,
+            attacks=split(args.attacks),
+            defenses=split(args.defenses),
+            recommenders=split(args.recommenders),
+            **knobs,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    force = split(args.force) if args.force else ()
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    runner = MatrixRunner(config, store=store, verbose=not args.quiet)
+
+    if args.explain:
+        print(format_plan(runner.plan()))
+        return 0
+
+    results, manifest = runner.run(force=force)
+    built, hits = len(manifest.built), len(manifest.cache_hits)
+    print(
+        f"scenario matrix — {len(config.defenses)} defense(s) x "
+        f"{len(config.attacks)} attack(s) x {len(config.recommenders)} "
+        f"recommender(s): {len(results.rows)} rows, "
+        f"{hits} cache hit(s), {built} built, {manifest.total_seconds:.3f}s"
+    )
+    for attack, rate in manifest.success_rates.items():
+        print(f"  mean success [{attack}]: {rate:.3f}")
+    if manifest.skipped_scenarios:
+        for defense, skipped in sorted(manifest.skipped_scenarios.items()):
+            print(f"  skipped under {defense}: {', '.join(skipped)}")
+    print()
+    print(format_cube(results.rows))
+    if args.manifest:
+        manifest.save(args.manifest)
+        print(f"manifest written to {args.manifest}")
+    if args.cube_out:
+        with open(args.cube_out, "w", encoding="utf-8") as handle:
+            json_module.dump(results.rows, handle, indent=2, sort_keys=True)
+        print(f"cube rows written to {args.cube_out}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Self-contained profiling workload: train a tiny classifier, attack it.
 
@@ -497,6 +593,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON run manifest to this path",
     )
     run.set_defaults(handler=cmd_run)
+
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="run the scenario matrix (attacks x defenses x recommenders)",
+        description="Cross attacks (FGSM/PGD/CW/MIM/NES/TRANSFER), defenses "
+        "(none/adv_train/distill/squeeze/detector) and recommenders "
+        "(VBPR/AMR/BPRMF) as first-class DAG cells with chained "
+        "fingerprints; editing one defense's knob re-runs only that "
+        "defense's column.  Emits a CHR / success-rate / PSNR-SSIM cube "
+        "and a per-cell JSON manifest.",
+    )
+    _add_common_arguments(matrix)
+    matrix.add_argument("--cutoff", type=int, default=100, help="N of CHR@N")
+    matrix.add_argument(
+        "--epsilons", default=None,
+        help="comma-separated attack grid on the 0-255 scale (e.g. 2,4,8,16)",
+    )
+    matrix.add_argument("--pgd-steps", type=int, default=None, help="PGD iterations")
+    matrix.add_argument(
+        "--ladder", choices=("exact", "warm", "off"), default=None,
+        help="crafting engine for FGSM/PGD cells (others always run per-cell)",
+    )
+    matrix.add_argument(
+        "--attacks", default="FGSM,PGD",
+        help="comma-separated attack axis (FGSM,PGD,CW,MIM,NES,TRANSFER)",
+    )
+    matrix.add_argument(
+        "--defenses", default="none",
+        help="comma-separated defense axis (none,adv_train,distill,squeeze,detector)",
+    )
+    matrix.add_argument(
+        "--recommenders", default="VBPR,AMR",
+        help="comma-separated recommender axis (VBPR,AMR,BPRMF)",
+    )
+    matrix.add_argument(
+        "--set", action="append", default=None, metavar="FIELD=VALUE",
+        help="override a MatrixConfig knob (e.g. --set squeeze_bits=5 "
+        "--set detector_fpr=0.1); repeatable",
+    )
+    matrix.add_argument(
+        "--force", default=None,
+        help="comma-separated matrix nodes to rebuild even when validly "
+        "cached (e.g. defense:squeeze,cell:none/FGSM/VBPR)",
+    )
+    matrix.add_argument(
+        "--explain", action="store_true",
+        help="print the node plan (fingerprint + cached/missing) and exit",
+    )
+    matrix.add_argument(
+        "--manifest", default=None,
+        help="write the JSON matrix manifest (per-cell fingerprints) here",
+    )
+    matrix.add_argument(
+        "--cube-out", default=None,
+        help="write the cube rows as JSON to this path",
+    )
+    matrix.set_defaults(handler=cmd_matrix)
 
     bench = subparsers.add_parser(
         "bench", help="time the engine (float64 baseline vs float32 optimized)"

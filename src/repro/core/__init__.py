@@ -15,6 +15,7 @@ from .pipeline import (
     ItemReport,
     TAaMRPipeline,
     VisualQuality,
+    invoke_attack,
 )
 from .untargeted import UntargetedOutcome, run_untargeted_attack
 from .scenarios import AttackScenario, make_scenario, paper_scenarios, select_scenarios
@@ -32,6 +33,7 @@ __all__ = [
     "CatalogState",
     "FeatureScratch",
     "AttackOutcome",
+    "invoke_attack",
     "ItemReport",
     "VisualQuality",
     "UntargetedOutcome",

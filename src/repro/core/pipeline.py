@@ -13,6 +13,7 @@ deployed system recomputes features and scores, exactly as modelled by
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,6 +29,28 @@ from ..recommenders.vbpr import VBPR
 from ..telemetry import span
 from .chr import category_hit_ratio, chr_report
 from .scenarios import AttackScenario
+
+
+def invoke_attack(
+    attack,
+    images: np.ndarray,
+    target_class: int,
+    original_predictions: Optional[np.ndarray] = None,
+) -> AttackResult:
+    """Run ``attack`` with the richest signature it supports.
+
+    Gradient attacks and NES accept precomputed clean predictions
+    (saving one clean forward over the cohort); CW only takes
+    ``(images, target_class)``.  Dispatch is by signature so any
+    attack exposing an ``attack()`` method can ride the grid.
+    """
+    kwargs = {}
+    if (
+        original_predictions is not None
+        and "original_predictions" in inspect.signature(attack.attack).parameters
+    ):
+        kwargs["original_predictions"] = original_predictions
+    return attack.attack(images, target_class=target_class, **kwargs)
 
 
 @dataclass
@@ -264,9 +287,10 @@ class TAaMRPipeline:
             attack=attack_name or type(attack).__name__,
             items=int(source_items.size),
         ):
-            result: AttackResult = attack.attack(
+            result: AttackResult = invoke_attack(
+                attack,
                 clean_images,
-                target_class=target_class,
+                target_class,
                 original_predictions=self.item_classes[source_items],
             )
 

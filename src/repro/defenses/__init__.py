@@ -1,12 +1,14 @@
 """``repro.defenses`` — extractor-side defenses proposed in the paper's §VI."""
 
 from .adversarial_training import AdversarialTrainer, AdversarialTrainingConfig
+from .detector import ReconstructionDetector
 from .distillation import DistillationConfig, distill, soft_labels
 from .squeezing import FeatureSqueezer, median_smooth, reduce_bit_depth
 
 __all__ = [
     "AdversarialTrainer",
     "AdversarialTrainingConfig",
+    "ReconstructionDetector",
     "distill",
     "DistillationConfig",
     "soft_labels",

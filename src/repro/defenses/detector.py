@@ -1,0 +1,129 @@
+"""Reconstruction-error attack detector (PCA manifold distance).
+
+Yin et al. 2023 ("Adversarial Image Denoising and Detection Framework",
+see PAPERS.md) put a reconstruction model in front of the feature
+extractor: clean catalog content lies near a low-dimensional manifold,
+adversarial perturbations push inputs off it, and the reconstruction
+residual separates the two.  This module is the linear instance of that
+idea — a rank-``k`` PCA fitted on clean vectors — chosen because it is
+deterministic (plain SVD, no RNG), cheap enough to sit on the serving
+ingest path, and agnostic to *what* the vectors are — both the scenario
+matrix's ``detector`` defense and the serving
+:class:`~repro.serving.screen.FeatureScreen` screen extracted feature
+vectors, where adversarial perturbations sit far off the clean manifold
+(pixel-space residuals barely move at small ε).
+
+The detector is calibrated on clean data to a target false-positive
+rate: :meth:`calibrate` sets the flagging threshold at the
+``(1 - fpr)`` quantile of clean reconstruction errors, so roughly
+``fpr`` of clean pushes get (wrongly) quarantined and anything far off
+the clean manifold is caught.  :meth:`reconstruct` doubles as a
+denoiser — the rank-``k`` projection of a perturbed vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ReconstructionDetector:
+    """Flags vectors whose rank-``k`` PCA reconstruction error is high.
+
+    Parameters
+    ----------
+    num_components:
+        Rank of the clean-data model.  Capped at ``min(n_samples,
+        dim)`` during :meth:`fit`.
+    threshold:
+        Flagging threshold on the reconstruction error; usually left
+        ``None`` and set by :meth:`calibrate`.
+
+    Inputs of every method may be any array of shape ``(n, ...)``; the
+    trailing dimensions are flattened to the fitted vector dimension.
+    """
+
+    def __init__(self, num_components: int = 8, threshold: Optional[float] = None) -> None:
+        if num_components <= 0:
+            raise ValueError("num_components must be positive")
+        if threshold is not None and threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.num_components = num_components
+        self.threshold = threshold
+        self._mean: Optional[np.ndarray] = None
+        self._components: Optional[np.ndarray] = None  # (k, dim) row basis
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._components is not None
+
+    @property
+    def dim(self) -> int:
+        """Flattened vector dimension the detector was fitted on."""
+        self._require_fitted()
+        assert self._mean is not None
+        return int(self._mean.shape[0])
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("detector is not fitted; call fit() first")
+
+    def _as_matrix(self, vectors: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(vectors, dtype=np.float64)  # lint: allow-float64
+        if matrix.ndim < 2:
+            raise ValueError("expected a batch of vectors, shape (n, ...)")
+        matrix = matrix.reshape(matrix.shape[0], -1)
+        if self.is_fitted and matrix.shape[1] != self.dim:
+            raise ValueError(
+                f"vector dim {matrix.shape[1]} != fitted dim {self.dim}"
+            )
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    def fit(self, clean: np.ndarray) -> "ReconstructionDetector":
+        """Fit the rank-``k`` clean-manifold model on clean vectors."""
+        matrix = self._as_matrix(clean)
+        if matrix.shape[0] < 2:
+            raise ValueError("need at least two clean vectors to fit")
+        self._mean = matrix.mean(axis=0)
+        centered = matrix - self._mean
+        # Deterministic principal axes; sign-fixed so refits are stable.
+        _, _, rows = np.linalg.svd(centered, full_matrices=False)
+        rank = min(self.num_components, rows.shape[0])
+        components = rows[:rank]
+        signs = np.sign(components[np.arange(rank), np.abs(components).argmax(axis=1)])
+        signs[signs == 0] = 1.0
+        self._components = components * signs[:, None]
+        return self
+
+    def reconstruct(self, vectors: np.ndarray) -> np.ndarray:
+        """Rank-``k`` reconstruction (the denoised vectors), input shape kept."""
+        self._require_fitted()
+        assert self._mean is not None and self._components is not None
+        original_shape = np.asarray(vectors).shape
+        matrix = self._as_matrix(vectors)
+        projected = (matrix - self._mean) @ self._components.T @ self._components
+        return (projected + self._mean).reshape(original_shape)
+
+    def score(self, vectors: np.ndarray) -> np.ndarray:
+        """Per-vector RMS reconstruction error (higher = more suspicious)."""
+        self._require_fitted()
+        matrix = self._as_matrix(vectors)
+        residual = matrix - self.reconstruct(matrix)
+        return np.sqrt((residual**2).mean(axis=1))
+
+    def calibrate(self, clean: np.ndarray, target_fpr: float = 0.05) -> float:
+        """Set the threshold at the ``(1 - fpr)`` clean-error quantile."""
+        if not 0.0 < target_fpr < 1.0:
+            raise ValueError("target_fpr must be in (0, 1)")
+        scores = self.score(clean)
+        self.threshold = float(np.quantile(scores, 1.0 - target_fpr))
+        return self.threshold
+
+    def flag(self, vectors: np.ndarray) -> np.ndarray:
+        """Boolean mask of vectors whose error exceeds the threshold."""
+        if self.threshold is None:
+            raise RuntimeError("no threshold set; call calibrate() first")
+        return self.score(vectors) > self.threshold

@@ -12,20 +12,35 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..attacks import FGSM, PGD, EpsilonLadder
-from ..attacks.base import GradientAttack
+from ..attacks import (
+    FGSM,
+    LADDER_ATTACKS,
+    MIM,
+    PGD,
+    CarliniWagnerL2,
+    EpsilonLadder,
+    LadderCell,
+    NESAttack,
+)
+from ..attacks.base import AttackResult, GradientAttack
 from ..attacks.projections import epsilon_from_255
 from ..core import (
     AttackOutcome,
     AttackScenario,
     FeatureScratch,
     TAaMRPipeline,
+    invoke_attack,
     paper_scenarios,
 )
-from ..telemetry import span
+from ..telemetry import active_metrics, span
 from .context import ExperimentContext
 
 GRID_ATTACK_NAMES = ("FGSM", "PGD")
+
+# Attacks the grid can run beyond the ladder-batched pair.  CW/MIM/NES
+# have no batched ε-ladder path; the grid falls back to one per-cell
+# run per (scenario, attack, ε) for them (see fallback_ladder_cells).
+CELL_ATTACK_NAMES = ("FGSM", "PGD", "CW", "MIM", "NES")
 
 # LRU-bounded: each grid pins a pipeline (full catalog features, scores
 # and adversarial images), so an unbounded cache grows without limit in
@@ -56,16 +71,131 @@ class AttackGrid:
         return selected
 
 
-def _make_attacks(
-    context: ExperimentContext, epsilon_255: float
-) -> Dict[str, GradientAttack]:
+def build_cell_attack(
+    name: str,
+    classifier,
+    epsilon_255: float,
+    pgd_steps: int = 10,
+    seed: int = 0,
+    options: Optional[Dict[str, float]] = None,
+):
+    """One configured attack instance for a single grid cell.
+
+    ``options`` carries attack-specific knobs (the scenario matrix
+    threads its ``MatrixConfig`` fields through here); unknown keys for
+    the chosen attack raise so config typos cannot silently no-op.
+    CW minimises l2 rather than respecting an l∞ budget, so its ε rung
+    scales the misclassification weight ``c`` instead (ε=8 keeps the
+    configured base value).
+    """
     epsilon = epsilon_from_255(epsilon_255)
+    options = dict(options or {})
+    if name == "FGSM":
+        attack = FGSM(classifier, epsilon)
+    elif name == "PGD":
+        attack = PGD(classifier, epsilon, num_steps=pgd_steps, seed=seed)
+    elif name == "MIM":
+        attack = MIM(
+            classifier,
+            epsilon,
+            num_steps=int(options.pop("num_steps", pgd_steps)),
+            decay=float(options.pop("decay", 1.0)),
+        )
+    elif name == "NES":
+        attack = NESAttack(
+            classifier,
+            epsilon,
+            num_steps=int(options.pop("num_steps", 5)),
+            samples_per_step=int(options.pop("samples_per_step", 8)),
+            sigma=float(options.pop("sigma", 0.01)),
+            seed=seed,
+        )
+    elif name == "CW":
+        attack = CarliniWagnerL2(
+            classifier,
+            c=float(options.pop("c", 1.0)) * float(epsilon_255) / 8.0,
+            learning_rate=float(options.pop("learning_rate", 0.05)),
+            num_steps=int(options.pop("num_steps", 30)),
+        )
+    else:
+        raise ValueError(
+            f"unknown grid attack '{name}'; supported: {CELL_ATTACK_NAMES}"
+        )
+    if options:
+        raise ValueError(f"unused options for attack '{name}': {sorted(options)}")
+    return attack
+
+
+def fallback_ladder_cells(
+    classifier,
+    attack_name: str,
+    images,
+    target_class: int,
+    original_predictions,
+    epsilons_255: Sequence[float],
+    pgd_steps: int,
+    seed: int,
+    options: Optional[Dict[str, float]] = None,
+    count: bool = True,
+) -> List[LadderCell]:
+    """Per-cell ε sweep for attacks without a batched ladder path.
+
+    Produces the same :class:`LadderCell` list an
+    :class:`EpsilonLadder` run would, so downstream measurement
+    (``outcomes_from_cells``) is engine-agnostic.  Counted once per
+    (scenario, attack) on the ``attack_ladder.fallback`` metric — the
+    grid degrades per *attack*, never for the whole grid.  ``count=False``
+    suppresses the counter for callers using this loop by choice
+    (``ladder_mode="off"``) rather than as a degradation.
+    """
+    registry = active_metrics()
+    if count and registry is not None:
+        registry.counter("attack_ladder.fallback").inc()
+    cells: List[LadderCell] = []
+    for epsilon_255 in epsilons_255:
+        attack = build_cell_attack(
+            attack_name,
+            classifier,
+            epsilon_255,
+            pgd_steps=pgd_steps,
+            seed=seed,
+            options=options,
+        )
+        with span(
+            "attack_grid.fallback_cell",
+            attack=attack_name,
+            epsilon_255=float(epsilon_255),
+            items=int(images.shape[0]),
+        ):
+            result = invoke_attack(
+                attack, images, target_class, original_predictions=original_predictions
+            )
+            raw_features = classifier.extract_features(result.adversarial_images)
+        cells.append(
+            LadderCell(
+                epsilon=epsilon_from_255(epsilon_255),
+                result=result,
+                raw_features=raw_features,
+            )
+        )
+    return cells
+
+
+def _make_attacks(
+    context: ExperimentContext,
+    epsilon_255: float,
+    attack_names: Sequence[str] = GRID_ATTACK_NAMES,
+) -> Dict[str, GradientAttack]:
     config = context.config
     return {
-        "FGSM": FGSM(context.classifier, epsilon),
-        "PGD": PGD(
-            context.classifier, epsilon, num_steps=config.pgd_steps, seed=config.seed
-        ),
+        name: build_cell_attack(
+            name,
+            context.classifier,
+            epsilon_255,
+            pgd_steps=config.pgd_steps,
+            seed=config.seed,
+        )
+        for name in attack_names
     }
 
 
@@ -78,6 +208,8 @@ def ladder_grid_outcomes(
     seed: int,
     mode: str,
     batch_size: int = 32,
+    attack_names: Sequence[str] = GRID_ATTACK_NAMES,
+    attack_options: Optional[Mapping[str, Dict[str, float]]] = None,
 ) -> Dict[str, List[AttackOutcome]]:
     """Run the ε-ladder grid once and measure it per recommender.
 
@@ -88,6 +220,13 @@ def ladder_grid_outcomes(
     come back per recommender in the canonical per-cell order
     (scenario → ε → attack), so tables and stored grid rows are laid out
     exactly as the legacy loop produced them.
+
+    ``attack_names`` may include attacks without a batched ladder path
+    (CW/MIM/NES): those degrade gracefully to one per-cell run per
+    (scenario, attack) via :func:`fallback_ladder_cells` — per attack,
+    never for the whole grid — and bump the ``attack_ladder.fallback``
+    counter.  ``attack_options`` carries per-attack knobs for the
+    fallback (see :func:`build_cell_attack`).
 
     All pipelines must share one catalog classification (identical
     ``item_classes``/``clean_features``), which holds for pipelines of
@@ -107,36 +246,49 @@ def ladder_grid_outcomes(
         images = first.dataset.images[source_items]
         original = first.item_classes[source_items]
         cells_by_attack = {}
-        for attack_name in GRID_ATTACK_NAMES:
-            ladder = EpsilonLadder(
-                classifier,
-                attack=attack_name,
-                epsilons=epsilons,
-                mode=mode,
-                num_steps=pgd_steps,
-                seed=seed,
-                batch_size=batch_size,
-            )
-            with span(
-                "attack_grid.ladder",
-                source=scenario.source,
-                target=scenario.target,
-                attack=attack_name,
-                mode=mode,
-                items=int(source_items.size),
-            ):
-                cells_by_attack[attack_name] = ladder.run(
-                    images, target_class, original_predictions=original
+        for attack_name in attack_names:
+            if attack_name in LADDER_ATTACKS:
+                ladder = EpsilonLadder(
+                    classifier,
+                    attack=attack_name,
+                    epsilons=epsilons,
+                    mode=mode,
+                    num_steps=pgd_steps,
+                    seed=seed,
+                    batch_size=batch_size,
+                )
+                with span(
+                    "attack_grid.ladder",
+                    source=scenario.source,
+                    target=scenario.target,
+                    attack=attack_name,
+                    mode=mode,
+                    items=int(source_items.size),
+                ):
+                    cells_by_attack[attack_name] = ladder.run(
+                        images, target_class, original_predictions=original
+                    )
+            else:
+                cells_by_attack[attack_name] = fallback_ladder_cells(
+                    classifier,
+                    attack_name,
+                    images,
+                    target_class,
+                    original,
+                    epsilons_255,
+                    pgd_steps=pgd_steps,
+                    seed=seed,
+                    options=(attack_options or {}).get(attack_name),
                 )
         for name, pipeline in pipelines.items():
             measured = {
                 attack_name: pipeline.outcomes_from_cells(
                     scenario, attack_name, cells_by_attack[attack_name], scratch=scratch
                 )
-                for attack_name in GRID_ATTACK_NAMES
+                for attack_name in attack_names
             }
             for index in range(len(epsilons)):
-                for attack_name in GRID_ATTACK_NAMES:
+                for attack_name in attack_names:
                     outcomes[name].append(measured[attack_name][index])
     return outcomes
 
@@ -159,12 +311,15 @@ def _per_cell_outcomes(
     pipeline: TAaMRPipeline,
     scenarios: Sequence[AttackScenario],
     epsilons_255: Sequence[float],
+    attack_names: Sequence[str] = GRID_ATTACK_NAMES,
 ) -> List[AttackOutcome]:
     """The legacy per-cell loop (``ladder_mode="off"``)."""
     outcomes: List[AttackOutcome] = []
     for scenario in scenarios:
         for epsilon_255 in epsilons_255:
-            for attack_name, attack in _make_attacks(context, epsilon_255).items():
+            for attack_name, attack in _make_attacks(
+                context, epsilon_255, attack_names
+            ).items():
                 with span(
                     "attack_grid.cell",
                     recommender=recommender_name.upper(),
@@ -197,17 +352,22 @@ def run_attack_grid(
     epsilons_255: Optional[Sequence[float]] = None,
     use_cache: bool = True,
     ladder_mode: Optional[str] = None,
+    attack_names: Optional[Sequence[str]] = None,
 ) -> AttackGrid:
     """Attack one recommender across all scenarios, attacks and budgets.
 
     ``ladder_mode`` overrides ``config.ladder_mode``: ``"exact"``
     (default) drives the batched ε ladder with bitwise-identical cells,
     ``"warm"`` adds warm starts and early exits, ``"off"`` runs the
-    legacy per-cell loop.
+    legacy per-cell loop.  ``attack_names`` widens the grid beyond
+    FGSM/PGD (see :data:`CELL_ATTACK_NAMES`); attacks without a ladder
+    path fall back per attack to the per-cell loop.
     """
     mode = _resolve_mode(context, ladder_mode)
     cache_key = (context.config.cache_key(), recommender_name.upper(), mode)
-    default_selection = scenarios is None and epsilons_255 is None
+    default_selection = (
+        scenarios is None and epsilons_255 is None and attack_names is None
+    )
     if use_cache and default_selection and cache_key in _GRID_CACHE:
         _GRID_CACHE.move_to_end(cache_key)
         return _GRID_CACHE[cache_key]
@@ -221,10 +381,18 @@ def run_attack_grid(
     resolved_epsilons = (
         tuple(epsilons_255) if epsilons_255 is not None else context.config.epsilons_255
     )
+    resolved_attacks = (
+        tuple(attack_names) if attack_names is not None else GRID_ATTACK_NAMES
+    )
 
     if mode == "off":
         outcomes = _per_cell_outcomes(
-            context, recommender_name, pipeline, resolved_scenarios, resolved_epsilons
+            context,
+            recommender_name,
+            pipeline,
+            resolved_scenarios,
+            resolved_epsilons,
+            resolved_attacks,
         )
     else:
         outcomes = ladder_grid_outcomes(
@@ -235,6 +403,7 @@ def run_attack_grid(
             pgd_steps=context.config.pgd_steps,
             seed=context.config.seed,
             mode=mode,
+            attack_names=resolved_attacks,
         )[recommender_name.upper()]
 
     grid = AttackGrid(
@@ -255,6 +424,7 @@ def run_attack_grids(
     epsilons_255: Optional[Sequence[float]] = None,
     use_cache: bool = True,
     ladder_mode: Optional[str] = None,
+    attack_names: Optional[Sequence[str]] = None,
 ) -> List[AttackGrid]:
     """Attack several recommenders, sharing ladder cells between them.
 
@@ -265,11 +435,19 @@ def run_attack_grids(
     :func:`run_attack_grid` per recommender.
     """
     mode = _resolve_mode(context, ladder_mode)
-    default_selection = scenarios is None and epsilons_255 is None
+    default_selection = (
+        scenarios is None and epsilons_255 is None and attack_names is None
+    )
     if mode == "off":
         return [
             run_attack_grid(
-                context, name, scenarios, epsilons_255, use_cache, ladder_mode=mode
+                context,
+                name,
+                scenarios,
+                epsilons_255,
+                use_cache,
+                ladder_mode=mode,
+                attack_names=attack_names,
             )
             for name in recommender_names
         ]
@@ -299,6 +477,9 @@ def run_attack_grids(
         pgd_steps=context.config.pgd_steps,
         seed=context.config.seed,
         mode=mode,
+        attack_names=(
+            tuple(attack_names) if attack_names is not None else GRID_ATTACK_NAMES
+        ),
     )
     grids = []
     for name in names:

@@ -104,6 +104,29 @@ STAGE_ORDER: Tuple[str, ...] = tuple(spec.name for spec in STAGE_SPECS)
 _SPEC_BY_NAME: Dict[str, StageSpec] = {spec.name: spec for spec in STAGE_SPECS}
 
 
+def chained_fingerprint(
+    name: str,
+    schema_version: int,
+    config_payload: Dict[str, Any],
+    dep_fingerprints: Dict[str, str],
+) -> str:
+    """One node's fingerprint: its own config + upstream fingerprints.
+
+    The single hashing convention of the DAG — static stages and the
+    dynamic scenario-matrix cells (:mod:`repro.experiments.matrix`)
+    both chain through it, so invalidation semantics cannot diverge
+    between the two layers.
+    """
+    payload = {
+        "stage": name,
+        "schema": schema_version,
+        "config": config_payload,
+        "deps": dict(dep_fingerprints),
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 def stage_fingerprints(config: ExperimentConfig) -> Dict[str, str]:
     """Per-stage fingerprints: own config fields + upstream fingerprints.
 
@@ -112,14 +135,12 @@ def stage_fingerprints(config: ExperimentConfig) -> Dict[str, str]:
     """
     fingerprints: Dict[str, str] = {}
     for spec in STAGE_SPECS:
-        payload = {
-            "stage": spec.name,
-            "schema": spec.schema_version,
-            "config": config.field_fingerprint(spec.config_fields),
-            "deps": {dep: fingerprints[dep] for dep in spec.deps},
-        }
-        canonical = json.dumps(payload, sort_keys=True)
-        fingerprints[spec.name] = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        fingerprints[spec.name] = chained_fingerprint(
+            spec.name,
+            spec.schema_version,
+            config.field_fingerprint(spec.config_fields),
+            {dep: fingerprints[dep] for dep in spec.deps},
+        )
     return fingerprints
 
 

@@ -24,6 +24,7 @@ from .loadgen import (
     run_serving_bench,
 )
 from .scorer import IncrementalScorer
+from .screen import FeatureScreen, ScreenReport
 from .service import (
     RecommenderService,
     RollingChrMonitor,
@@ -47,6 +48,8 @@ __all__ = [
     "RecommenderService",
     "RollingChrMonitor",
     "UpdateReport",
+    "FeatureScreen",
+    "ScreenReport",
     "ZipfLoadGenerator",
     "PhaseStats",
     "measure_phase",

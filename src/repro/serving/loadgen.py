@@ -18,7 +18,14 @@ tentpole cares about on one trained system:
   images is pushed through :meth:`RecommenderService.push_attacked_images`
   (feature re-extraction + incremental rescore + fine-grained cache
   invalidation), then the stream replays again: only users whose lists
-  the attack could change pay the recompute.
+  the attack could change pay the recompute;
+* **defended** — a :class:`~repro.serving.screen.FeatureScreen`
+  (reconstruction detector fitted + calibrated on the clean catalog
+  features) is installed on the ingest path, the same attack push is
+  replayed against it, and the stream replays once more.  The phase
+  carries the measured detection rate and the request-path p95 delta
+  vs ``post_invalidation``; the ``screen`` payload section adds the
+  clean-push false-positive rate and the push-path overhead.
 
 Each phase reports throughput and p50/p95/p99 latency; the payload also
 carries cache counters and the rolling CHR of the attacked source
@@ -42,6 +49,7 @@ from ..experiments.config import men_config
 from ..experiments.context import build_context
 from ..rng import derive_rng, rng_from_seed
 from ..telemetry import active_metrics, monotonic, span
+from .screen import FeatureScreen
 from .service import RecommenderService
 
 
@@ -154,10 +162,12 @@ def run_serving_bench(
     target: str = "running_shoe",
     seed: int = 0,
     smoke: bool = False,
+    screen_components: int = 8,
+    screen_fpr: float = 0.05,
     out_path: Optional[str] = None,
     verbose: bool = False,
 ) -> Dict:
-    """Benchmark cold / warm / post-invalidation serving on VBPR.
+    """Benchmark cold / warm / post-invalidation / defended serving on VBPR.
 
     ``smoke=True`` shrinks everything (tiny catalog, short training,
     few requests, one-step FGSM) so the benchmark machinery can run
@@ -238,7 +248,9 @@ def run_serving_bench(
         target_class=target_class,
         original_predictions=pipeline.item_classes[attacked_items],
     )
+    push_started = monotonic()
     update = service.push_attacked_images(attacked_items, result.adversarial_images)
+    push_undefended_ms = 1e3 * (monotonic() - push_started)
     log(
         f"pushed {attacked_items.size} attacked images: "
         f"{update.num_invalidated}/{update.cached_users} cached lists invalidated"
@@ -247,6 +259,40 @@ def run_serving_bench(
     post = measure_phase(service, "post_invalidation", stream)
     log(f"post: {post.throughput_rps:.0f} req/s, p50 {post.p50_ms:.3f} ms")
     chr_after = service.monitor.chr_percent(source)
+
+    # Defended ingest: the reconstruction screen is fitted + calibrated
+    # on the clean catalog features, then the same attack replays
+    # against it.  A clean push first measures the false-positive cost
+    # of the screen on legitimate catalog refreshes.
+    screen = FeatureScreen.fit(
+        pipeline.clean_features,
+        num_components=screen_components,
+        target_fpr=screen_fpr,
+    )
+    service.screen = screen
+    clean_update = service.push_item_features(
+        attacked_items, pipeline.clean_features[attacked_items]
+    )
+    false_positive_rate = (
+        clean_update.num_quarantined / attacked_items.size if attacked_items.size else 0.0
+    )
+    push_started = monotonic()
+    defended_update = service.push_attacked_images(
+        attacked_items, result.adversarial_images
+    )
+    push_defended_ms = 1e3 * (monotonic() - push_started)
+    detection_rate = (
+        defended_update.num_quarantined / attacked_items.size
+        if attacked_items.size
+        else 0.0
+    )
+    log(
+        f"defended push: {defended_update.num_quarantined}/{attacked_items.size} "
+        f"quarantined (clean FP {clean_update.num_quarantined}/{attacked_items.size})"
+    )
+    defended = measure_phase(service, "defended", stream)
+    log(f"defended: {defended.throughput_rps:.0f} req/s, p50 {defended.p50_ms:.3f} ms")
+    chr_defended = service.monitor.chr_percent(source)
 
     payload = {
         "benchmark": "serving",
@@ -265,7 +311,12 @@ def run_serving_bench(
             "num_items": context.dataset.num_items,
         },
         "phases": {
-            phase.name: phase.as_dict() for phase in (cold, warm, post)
+            **{phase.name: phase.as_dict() for phase in (cold, warm, post)},
+            "defended": {
+                **defended.as_dict(),
+                "detection_rate": detection_rate,
+                "added_p95_ms": defended.p95_ms - post.p95_ms,
+            },
         },
         "cache": service.stats,
         "invalidation": {
@@ -273,10 +324,23 @@ def run_serving_bench(
             "invalidated_users": update.num_invalidated,
             "scores_changed": update.scores_changed,
         },
+        "screen": {
+            "num_components": screen_components,
+            "target_fpr": screen_fpr,
+            "threshold": screen.threshold,
+            "attacked_items": int(attacked_items.size),
+            "quarantined_items": defended_update.num_quarantined,
+            "detection_rate": detection_rate,
+            "clean_false_positive_rate": false_positive_rate,
+            "push_ms_undefended": push_undefended_ms,
+            "push_ms_defended": push_defended_ms,
+            "screen_overhead_ms": push_defended_ms - push_undefended_ms,
+        },
         "chr_monitor": {
             "category": source,
             "rolling_percent_before_attack": chr_before,
             "rolling_percent_after_attack": chr_after,
+            "rolling_percent_defended": chr_defended,
         },
         "speedup": {
             "warm_vs_cold_p50": cold.p50_ms / warm.p50_ms if warm.p50_ms > 0 else float("inf"),
@@ -324,6 +388,15 @@ def format_serving_report(payload: Dict) -> str:
         f"attack push: {inv['invalidated_users']}/{inv['cached_users']} "
         f"cached lists invalidated"
     )
+    screen_info = payload.get("screen")
+    if screen_info is not None:
+        lines.append(
+            f"screen: {screen_info['quarantined_items']}/{screen_info['attacked_items']} "
+            f"attacked items quarantined "
+            f"(detection {screen_info['detection_rate']:.2f}, "
+            f"clean FP {screen_info['clean_false_positive_rate']:.2f}, "
+            f"push overhead {screen_info['screen_overhead_ms']:+.2f} ms)"
+        )
     chr_info = payload["chr_monitor"]
     lines.append(
         f"rolling CHR[{chr_info['category']}]: "

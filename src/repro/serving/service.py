@@ -34,6 +34,7 @@ from ..recommenders.base import Recommender
 from ..telemetry import active_metrics, monotonic, span
 from .index import TopNCache
 from .scorer import IncrementalScorer
+from .screen import FeatureScreen, ScreenReport
 
 
 def topn_head_row(scores: np.ndarray, k: int):
@@ -135,14 +136,20 @@ class RollingChrMonitor:
 class UpdateReport:
     """What one feature push did to the serving state."""
 
-    item_ids: np.ndarray
+    item_ids: np.ndarray  # items that actually reached the scorer
     scores_changed: bool  # False for non-visual models (attack-immune)
     cached_users: int  # cache size when the update arrived
     invalidated_users: List[int] = field(default_factory=list)
+    screened: bool = False  # a FeatureScreen inspected this push
+    quarantined_items: List[int] = field(default_factory=list)
 
     @property
     def num_invalidated(self) -> int:
         return len(self.invalidated_users)
+
+    @property
+    def num_quarantined(self) -> int:
+        return len(self.quarantined_items)
 
 
 class RecommenderService:
@@ -165,6 +172,12 @@ class RecommenderService:
     extractor:
         Fitted :class:`FeatureExtractor`; required only by
         :meth:`push_attacked_images`.
+    screen:
+        Optional :class:`~repro.serving.screen.FeatureScreen`.  When
+        set, every feature push is screened *before* the scorer patch
+        and cache invalidation; flagged items are quarantined (their
+        previously served features stay live).  ``None`` (the default)
+        leaves the push path bit-for-bit as before.
     n:
         Serving cutoff — the list length cached per user; ``recommend``
         may ask for any ``n`` up to it.
@@ -180,6 +193,7 @@ class RecommenderService:
         item_classes: Optional[np.ndarray] = None,
         class_names: Optional[Sequence[str]] = None,
         extractor: Optional[FeatureExtractor] = None,
+        screen: Optional[FeatureScreen] = None,
         n: int = 10,
         monitor_window: int = 256,
     ) -> None:
@@ -191,6 +205,8 @@ class RecommenderService:
         self.recommender = recommender
         self.feedback = feedback
         self.extractor = extractor
+        self.screen = screen
+        self.last_screen: Optional[ScreenReport] = None
         self.scorer = IncrementalScorer(recommender, features=features)
         seen = feedback.positive_sets() if feedback is not None else None
         self.index = TopNCache(n, recommender.num_items, seen_items=seen)
@@ -364,13 +380,35 @@ class RecommenderService:
     # Update path
     # ------------------------------------------------------------------ #
     def push_item_features(self, item_ids, item_features) -> UpdateReport:
-        """Swap item features and surgically invalidate affected lists."""
+        """Swap item features and surgically invalidate affected lists.
+
+        With a :class:`FeatureScreen` installed, the push is screened
+        first: quarantined items never reach the scorer, so their old
+        features keep serving and no list is invalidated for them.  A
+        fully quarantined push is a recorded no-op.
+        """
         item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
+        quarantined: List[int] = []
+        if self.screen is not None:
+            item_features = np.asarray(item_features)
+            verdict = self.screen.screen(item_ids, item_features)
+            self.last_screen = verdict
+            quarantined = [int(item) for item in verdict.quarantined_item_ids]
+            item_ids = verdict.passed_item_ids
+            item_features = item_features[~verdict.flagged]
         with span("serving.push_item_features", items=int(item_ids.size)) as push_span:
             cached = self.index.cached_users()
-            changed = self.scorer.update_item_features(item_ids, item_features)
+            changed = (
+                self.scorer.update_item_features(item_ids, item_features)
+                if item_ids.size
+                else False
+            )
             report = UpdateReport(
-                item_ids=item_ids, scores_changed=changed, cached_users=len(cached)
+                item_ids=item_ids,
+                scores_changed=changed,
+                cached_users=len(cached),
+                screened=self.screen is not None,
+                quarantined_items=quarantined,
             )
             if changed and cached:
                 new_columns = self.scorer.score_items(cached, item_ids)

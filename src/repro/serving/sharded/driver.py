@@ -37,6 +37,7 @@ from ...recommenders.vbpr import VBPR, VBPRConfig
 from ...rng import derive_rng
 from ...telemetry import active_metrics
 from ..loadgen import ZipfLoadGenerator
+from ..screen import FeatureScreen
 from .router import ShardedService
 from .shm import segment_exists
 
@@ -59,9 +60,20 @@ def build_synthetic_system(
     count without a training loop, yet two runs with the same seed are
     bitwise identical.  Returns ``(model, item_classes, class_names,
     popularity_counts)``; the counts feed the MostPop failover ranker.
+
+    Item features are *low-rank plus noise* rather than iid Gaussian:
+    real extracted features concentrate near a low-dimensional manifold
+    (the premise of the reconstruction screen), and an iid cloud has no
+    manifold for the defended phase to defend.  The mixing is scaled so
+    the per-dimension variance stays ≈1, keeping score magnitudes
+    comparable to the previous iid draw.
     """
-    features = derive_rng(seed, "synthetic.features").normal(
-        0.0, 1.0, (num_items, feature_dim)
+    rank = max(4, feature_dim // 8)
+    feature_rng = derive_rng(seed, "synthetic.features")
+    latent = feature_rng.normal(0.0, 1.0, (num_items, rank))
+    mixing = feature_rng.normal(0.0, 1.0, (rank, feature_dim))
+    features = latent @ mixing / np.sqrt(rank) + feature_rng.normal(
+        0.0, 0.05, (num_items, feature_dim)
     )
     model = VBPR(
         num_users,
@@ -215,6 +227,8 @@ def run_sharded_bench(
     mode: str = "closed",
     rate_rps: Optional[float] = None,
     backend: str = "process",
+    screen_components: int = 8,
+    screen_fpr: float = 0.05,
     out_path: Optional[str] = None,
     verbose: bool = False,
 ) -> Dict:
@@ -264,6 +278,13 @@ def run_sharded_bench(
     )
     attacked_features = model.features[attacked] + attack_rng.normal(
         0.0, 0.25, (attacked.size, feature_dim)
+    )
+
+    # One screen for every fleet: fitted + calibrated on the clean
+    # synthetic catalog, installed only for the defended phase so the
+    # cold/warm/post phases stay bit-for-bit undefended.
+    screen = FeatureScreen.fit(
+        model.features, num_components=screen_components, target_fpr=screen_fpr
     )
 
     runs: Dict[str, Dict] = {}
@@ -334,6 +355,28 @@ def run_sharded_bench(
                 seed=seed,
             )
             log(f"post {workers}w: {post.throughput_rps:.0f} req/s aggregate")
+
+            # Defended ingest: install the screen at the router and
+            # replay the same attack push — quarantined items never
+            # reach a shard.  Then the stream replays once more.
+            service.router.screen = screen
+            defended_epoch = service.push_item_features(attacked, attacked_features)
+            service.flush()
+            verdict = service.router.last_screen
+            quarantined = verdict.num_flagged if verdict is not None else 0
+            detection_rate = verdict.flag_rate if verdict is not None else 0.0
+            log(
+                f"defended push {workers}w: {quarantined}/{attacked.size} "
+                f"items quarantined at the router"
+            )
+            defended = run_sharded_phase(
+                service, "defended", stream, mode=mode, rate_rps=rate_rps, seed=seed
+            )
+            log(
+                f"defended {workers}w: "
+                f"{defended.throughput_rps:.0f} req/s aggregate"
+            )
+
             aggregate = service.stats()
             aggregate.pop("per_shard", None)
             service.close()
@@ -342,12 +385,25 @@ def run_sharded_bench(
             runs[str(workers)] = {
                 "workers": workers,
                 "phases": {
-                    phase.name: phase.as_dict() for phase in (cold, warm, post)
+                    **{phase.name: phase.as_dict() for phase in (cold, warm, post)},
+                    "defended": {
+                        **defended.as_dict(),
+                        "detection_rate": detection_rate,
+                        "added_p95_ms": defended.p95_ms - post.p95_ms,
+                    },
                 },
                 "invalidation": {
                     "epoch": epoch,
                     "attacked_items": int(attacked.size),
                     "invalidated_users": int(invalidated),
+                },
+                "screen": {
+                    "threshold": screen.threshold,
+                    "attacked_items": int(attacked.size),
+                    "quarantined_items": int(quarantined),
+                    "detection_rate": detection_rate,
+                    # A fully quarantined push spends no epoch.
+                    "epoch_advanced": defended_epoch != epoch,
                 },
                 "stats": aggregate,
                 "shm": {"segment": segment, "leaked": leaked},
@@ -382,6 +438,8 @@ def run_sharded_bench(
             "backend": backend,
             "seed": seed,
             "smoke": smoke,
+            "screen_components": screen_components,
+            "screen_fpr": screen_fpr,
             "aggregation": "capacity: total_requests / max(per-shard wall)",
         },
         "runs": runs,
@@ -424,6 +482,13 @@ def format_sharded_report(payload: Dict) -> str:
             f"{inv['invalidated_users']} lists invalidated; "
             f"shm leaked: {run['shm']['leaked']}"
         )
+        screen_info = run.get("screen")
+        if screen_info is not None:
+            lines.append(
+                f"{'':>7s} screen: "
+                f"{screen_info['quarantined_items']}/{screen_info['attacked_items']} "
+                f"quarantined (detection {screen_info['detection_rate']:.2f})"
+            )
     for key, value in payload.get("scaling", {}).items():
         lines.append(f"scaling {key}: {value:.2f}x")
     lines.append(f"leaked shm segments: {payload['shm']['leaked']}")

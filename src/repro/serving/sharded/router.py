@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ...telemetry import active_metrics, monotonic, span
+from ..screen import FeatureScreen, ScreenReport
 from ..service import RecommenderService  # noqa: F401  (docs cross-reference)
 from .partition import UserPartition
 from .scorer import SharedScorer, compute_item_side
@@ -79,6 +80,7 @@ class ShardRouter:
         num_users: int,
         fallback: Optional[MostPopFallback] = None,
         extractor=None,
+        screen: Optional[FeatureScreen] = None,
         n: int = 10,
         cast_timeout_s: float = 5.0,
         call_timeout_s: Optional[float] = None,
@@ -89,6 +91,8 @@ class ShardRouter:
         self.partition = UserPartition(num_users, len(self.handles))
         self.fallback = fallback
         self.extractor = extractor
+        self.screen = screen
+        self.last_screen: Optional[ScreenReport] = None
         self.n = n
         self.cast_timeout_s = cast_timeout_s
         self.call_timeout_s = call_timeout_s
@@ -178,11 +182,25 @@ class ShardRouter:
         Returns the epoch assigned to this push.  The call returns once
         each healthy shard has the update *enqueued* — application is
         asynchronous; :meth:`flush` drains the acks.
+
+        With a :class:`FeatureScreen` installed, screening happens
+        **once at the router, before the fan-out**: quarantined items
+        never reach any shard, so no worker rescoring or invalidation
+        runs on their behalf.  A fully quarantined push is dropped and
+        the current epoch is returned unchanged (no epoch is spent on
+        an update no shard will ever see).
         """
         item_ids = np.atleast_1d(np.asarray(item_ids, dtype=np.int64))
         item_features = (
             None if item_features is None else np.asarray(item_features, dtype=np.float64)
         )
+        if self.screen is not None and item_features is not None:
+            verdict = self.screen.screen(item_ids, item_features)
+            self.last_screen = verdict
+            item_ids = verdict.passed_item_ids
+            item_features = item_features[~verdict.flagged]
+            if item_ids.size == 0:
+                return self._epoch
         self._epoch += 1
         epoch = self._epoch
         payload = {
@@ -414,6 +432,7 @@ class ShardedService:
         item_classes: Optional[np.ndarray] = None,
         class_names: Optional[Sequence[str]] = None,
         extractor=None,
+        screen: Optional[FeatureScreen] = None,
         n: int = 10,
         monitor_window: int = 256,
         max_pending: int = 64,
@@ -543,6 +562,7 @@ class ShardedService:
             num_users=recommender.num_users,
             fallback=fallback,
             extractor=extractor,
+            screen=screen,
             n=n,
             cast_timeout_s=cast_timeout_s,
             call_timeout_s=call_timeout_s,

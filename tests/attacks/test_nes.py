@@ -8,6 +8,30 @@ from repro.data import amazon_men_like
 from repro.features import ClassifierConfig, train_catalog_classifier
 
 
+class QuadraticModel:
+    """A two-class oracle whose targeted loss is a known quadratic.
+
+    ``predict_proba`` puts ``exp(-½‖x − c‖²)`` on class 1, so the NES
+    loss ``−log p₁`` equals ``½‖x − c‖²`` (up to the 1e-12 log guard)
+    and its gradient at ``x`` is analytically ``x − c``.  Antithetic
+    sampling is exact on quadratics — ``f(x+σu) − f(x−σu) = 2σ u·∇f`` —
+    which makes this the sharpest possible probe of the estimator.
+    """
+
+    num_classes = 2
+
+    def __init__(self, center: np.ndarray) -> None:
+        self.center = np.asarray(center)
+
+    def predict_proba(self, images, batch_size=64):
+        flat = images.reshape(images.shape[0], -1) - self.center.ravel()
+        p_target = np.exp(-0.5 * (flat**2).sum(axis=1))
+        return np.stack([1.0 - p_target, p_target], axis=1)
+
+    def predict(self, images, batch_size=64):
+        return np.argmax(self.predict_proba(images), axis=1)
+
+
 @pytest.fixture(scope="module")
 def setup():
     ds = amazon_men_like(scale=0.0025, image_size=24, seed=1)
@@ -22,6 +46,69 @@ def setup():
     assert report.final_train_accuracy > 0.9
     socks = ds.items_in_category("sock")
     return ds, model, ds.images[socks][:4]
+
+
+class TestGradientEstimate:
+    """The antithetic estimator against an analytic gradient."""
+
+    def _attack(self, center, samples=4096, sigma=0.01, seed=0):
+        return NESAttack(
+            QuadraticModel(center),
+            epsilon=0.5,
+            num_steps=1,
+            samples_per_step=samples,
+            sigma=sigma,
+            seed=seed,
+        )
+
+    def test_matches_analytic_gradient_on_quadratic(self):
+        image = np.full((1, 4, 4), 0.5)
+        gradient = np.linspace(-0.3, 0.3, image.size).reshape(image.shape)
+        attack = self._attack(image - gradient)
+        estimate = attack._estimate_gradient(image, target_class=1)
+        # σ = 0.01 keeps every probe inside [0, 1], so clipping is a
+        # no-op and the estimate is unbiased with O(1/√n) noise.
+        np.testing.assert_allclose(estimate, gradient, atol=0.05)
+        cosine = np.dot(estimate.ravel(), gradient.ravel()) / (
+            np.linalg.norm(estimate) * np.linalg.norm(gradient)
+        )
+        assert cosine > 0.99
+
+    def test_estimate_improves_with_more_samples(self):
+        image = np.full((1, 4, 4), 0.5)
+        gradient = np.linspace(-0.3, 0.3, image.size).reshape(image.shape)
+        errors = []
+        for samples in (16, 4096):
+            attack = self._attack(image - gradient, samples=samples)
+            estimate = attack._estimate_gradient(image, target_class=1)
+            errors.append(np.linalg.norm(estimate - gradient))
+        assert errors[1] < errors[0]
+
+    def test_query_accounting_per_estimate(self):
+        image = np.full((1, 4, 4), 0.5)
+        attack = self._attack(image, samples=32)
+        attack.queries_used = 0
+        attack._estimate_gradient(image, target_class=1)
+        # One antithetic pair costs two probability queries.
+        assert attack.queries_used == 2 * 32
+
+    def test_attack_descends_the_quadratic(self):
+        """Sign steps on the estimate must walk the image toward the
+        target basin — the end-to-end check that estimation, stepping
+        and projection compose."""
+        image = np.full((1, 4, 4), 0.35)
+        center = np.full(image.shape, 0.7)  # −log p₁ = 0.98 > log 2
+        model = QuadraticModel(center)
+        attack = NESAttack(
+            model, epsilon=0.2, num_steps=8, samples_per_step=32, seed=0
+        )
+        result = attack.attack(image[None], target_class=1)
+        assert model.predict(image[None])[0] == 0
+        assert result.adversarial_predictions[0] == 1
+        assert result.success_rate() == 1.0
+        before = np.abs(image - center).sum()
+        after = np.abs(result.adversarial_images[0] - center).sum()
+        assert after < before
 
 
 class TestNES:

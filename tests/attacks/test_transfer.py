@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.attacks import PGD, evaluate_transfer, transfer_matrix
+from repro.attacks import (
+    PGD,
+    evaluate_transfer,
+    targeted_success_rate,
+    transfer_matrix,
+)
 from repro.data import amazon_men_like
 from repro.features import ClassifierConfig, train_catalog_classifier
 from repro.nn import TinyResNet
@@ -73,6 +78,36 @@ class TestEvaluateTransfer:
         other = TinyResNet(num_classes=3, widths=(8,), blocks_per_stage=(1,))
         with pytest.raises(ValueError):
             evaluate_transfer(models["model_a"], other, images, target, builder)
+
+
+class TestSurrogateVictimParity:
+    """The study must measure exactly the images crafted on the source."""
+
+    def test_matches_manual_source_crafting(self, setup):
+        """Craft on the surrogate by hand, score on the victim by hand;
+        ``evaluate_transfer`` must report the same pair of numbers —
+        source→target parity with no hidden re-crafting on the victim."""
+        _, models, images, target = setup
+        manual = builder(models["model_a"]).attack(images, target_class=target)
+        victim_predictions = models["model_b"].predict(manual.adversarial_images)
+        result = evaluate_transfer(
+            models["model_a"], models["model_b"], images, target, builder
+        )
+        assert result.white_box_success == pytest.approx(manual.success_rate())
+        assert result.transfer_success == pytest.approx(
+            targeted_success_rate(victim_predictions, target)
+        )
+
+    def test_victim_sees_source_features_deterministically(self, setup):
+        """The victim's feature extraction of the delivered images is a
+        pure function of the surrogate's crafting — two runs agree."""
+        _, models, images, target = setup
+        manual = builder(models["model_a"]).attack(images, target_class=target)
+        _, first = models["model_b"].predict_with_features(manual.adversarial_images)
+        again = builder(models["model_a"]).attack(images, target_class=target)
+        _, second = models["model_b"].predict_with_features(again.adversarial_images)
+        np.testing.assert_array_equal(manual.adversarial_images, again.adversarial_images)
+        np.testing.assert_array_equal(first, second)
 
 
 class TestTransferMatrix:

@@ -1,0 +1,119 @@
+"""Unit tests for the PCA reconstruction-error attack detector."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import ReconstructionDetector
+from repro.rng import rng_from_seed
+
+
+def low_rank_vectors(n=200, dim=32, rank=4, noise=0.01, seed=0):
+    """Clean vectors near a rank-``rank`` manifold, as catalog features are."""
+    rng = rng_from_seed(seed)
+    latent = rng.normal(0.0, 1.0, (n, rank))
+    mixing = rng.normal(0.0, 1.0, (rank, dim))
+    return latent @ mixing + rng.normal(0.0, noise, (n, dim))
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return low_rank_vectors()
+
+
+@pytest.fixture(scope="module")
+def fitted(clean):
+    detector = ReconstructionDetector(num_components=4)
+    detector.fit(clean)
+    detector.calibrate(clean, target_fpr=0.05)
+    return detector
+
+
+class TestFitAndScore:
+    def test_clean_scores_are_small(self, fitted, clean):
+        # Rank-4 data under a rank-4 model: only the noise floor remains.
+        assert fitted.score(clean).max() < 0.1
+
+    def test_off_manifold_scores_are_large(self, fitted, clean):
+        rng = rng_from_seed(1)
+        perturbed = clean[:20] + rng.normal(0.0, 1.0, clean[:20].shape)
+        assert fitted.score(perturbed).min() > fitted.score(clean).max()
+
+    def test_reconstruct_is_idempotent(self, fitted, clean):
+        once = fitted.reconstruct(clean)
+        np.testing.assert_allclose(fitted.reconstruct(once), once, atol=1e-10)
+
+    def test_reconstruct_keeps_input_shape(self, fitted, clean):
+        cube = clean[:8].reshape(8, 4, 8)
+        assert fitted.reconstruct(cube).shape == (8, 4, 8)
+
+    def test_full_rank_model_reconstructs_exactly(self):
+        vectors = low_rank_vectors(n=50, dim=6, rank=6, noise=0.2)
+        detector = ReconstructionDetector(num_components=50).fit(vectors)
+        # num_components caps at min(n, dim): nothing left to flag.
+        np.testing.assert_allclose(detector.score(vectors), 0.0, atol=1e-10)
+
+    def test_refit_is_deterministic(self, clean):
+        a = ReconstructionDetector(num_components=4).fit(clean)
+        b = ReconstructionDetector(num_components=4).fit(clean)
+        np.testing.assert_array_equal(a.score(clean), b.score(clean))
+        np.testing.assert_array_equal(a._components, b._components)
+
+
+class TestCalibrateAndFlag:
+    def test_clean_fpr_near_target(self, fitted, clean):
+        flags = fitted.flag(clean)
+        assert 0.0 <= flags.mean() <= 0.06  # the (1 − fpr) quantile cut
+
+    def test_adversarial_flagged(self, fitted, clean):
+        rng = rng_from_seed(2)
+        perturbed = clean[:20] + rng.normal(0.0, 1.0, clean[:20].shape)
+        assert fitted.flag(perturbed).all()
+
+    def test_calibrate_returns_threshold(self, clean):
+        detector = ReconstructionDetector(num_components=4).fit(clean)
+        threshold = detector.calibrate(clean, target_fpr=0.1)
+        assert threshold == detector.threshold
+        scores = detector.score(clean)
+        assert threshold == pytest.approx(np.quantile(scores, 0.9))
+
+    def test_tighter_fpr_raises_threshold(self, clean):
+        detector = ReconstructionDetector(num_components=4).fit(clean)
+        loose = detector.calibrate(clean, target_fpr=0.2)
+        tight = detector.calibrate(clean, target_fpr=0.01)
+        assert tight > loose
+
+
+class TestValidation:
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            ReconstructionDetector(num_components=0)
+        with pytest.raises(ValueError):
+            ReconstructionDetector(threshold=-1.0)
+
+    def test_unfitted_rejected(self, clean):
+        detector = ReconstructionDetector()
+        assert not detector.is_fitted
+        with pytest.raises(RuntimeError):
+            detector.score(clean)
+        with pytest.raises(RuntimeError):
+            detector.reconstruct(clean)
+
+    def test_uncalibrated_flag_rejected(self, clean):
+        detector = ReconstructionDetector(num_components=4).fit(clean)
+        with pytest.raises(RuntimeError):
+            detector.flag(clean)
+
+    def test_dim_mismatch_rejected(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.score(np.zeros((3, 7)))
+
+    def test_needs_a_batch(self, fitted, clean):
+        with pytest.raises(ValueError):
+            fitted.score(clean[0])
+        with pytest.raises(ValueError):
+            ReconstructionDetector().fit(clean[:1])
+
+    def test_bad_fpr_rejected(self, fitted, clean):
+        for fpr in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                fitted.calibrate(clean, target_fpr=fpr)

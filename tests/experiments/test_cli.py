@@ -156,10 +156,14 @@ class TestServeBenchCommand:
         assert "warm_cache" in out
 
         payload = json.loads(out_path.read_text())
-        assert set(payload["phases"]) == {"cold", "warm_cache", "post_invalidation"}
+        assert set(payload["phases"]) == {
+            "cold", "warm_cache", "post_invalidation", "defended",
+        }
         for phase in payload["phases"].values():
             for key in ("throughput_rps", "p50_ms", "p95_ms", "p99_ms"):
                 assert phase[key] > 0
+        assert 0.0 <= payload["phases"]["defended"]["detection_rate"] <= 1.0
+        assert "added_p95_ms" in payload["phases"]["defended"]
 
     def test_serve_bench_defaults(self):
         args = build_parser().parse_args(["serve-bench"])

@@ -78,7 +78,9 @@ class TestSmokeBench:
         return payload
 
     def test_phases_present(self, payload):
-        assert set(payload["phases"]) == {"cold", "warm_cache", "post_invalidation"}
+        assert set(payload["phases"]) == {
+            "cold", "warm_cache", "post_invalidation", "defended",
+        }
         for phase in payload["phases"].values():
             assert phase["requests"] > 0
             assert phase["throughput_rps"] > 0
@@ -88,7 +90,22 @@ class TestSmokeBench:
         inv = payload["invalidation"]
         assert inv["scores_changed"] is True
         assert 0 <= inv["invalidated_users"] <= inv["cached_users"]
-        assert payload["cache"]["feature_updates"] == 1
+        # Undefended push + defended clean push + defended attacked push
+        # (the last one skips the scorer when fully quarantined).
+        assert 2 <= payload["cache"]["feature_updates"] <= 3
+
+    def test_defended_phase_reports_screen(self, payload):
+        defended = payload["phases"]["defended"]
+        assert 0.0 <= defended["detection_rate"] <= 1.0
+        assert "added_p95_ms" in defended
+        screen = payload["screen"]
+        assert screen["attacked_items"] > 0
+        assert screen["quarantined_items"] == round(
+            screen["detection_rate"] * screen["attacked_items"]
+        )
+        assert 0.0 <= screen["clean_false_positive_rate"] <= 1.0
+        assert screen["threshold"] > 0
+        assert screen["push_ms_defended"] > 0 and screen["push_ms_undefended"] > 0
 
     def test_chr_monitor_tracked(self, payload):
         chr_info = payload["chr_monitor"]
@@ -99,6 +116,7 @@ class TestSmokeBench:
     def test_report_formats(self, payload):
         text = format_serving_report(payload)
         assert "cold" in text and "warm_cache" in text and "post_invalidation" in text
+        assert "defended" in text and "quarantined" in text
         assert "rolling CHR" in text
 
     def test_invalid_requests(self):
