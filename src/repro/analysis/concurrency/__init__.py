@@ -1,0 +1,42 @@
+"""Interprocedural concurrency/protocol lint rules for sharded serving.
+
+The per-file rules (RPR001–RPR006) check syntax-local policy; this
+package checks the *conventions between files* that keep the sharded
+serving tier bitwise-equal to the single-process scorer: nobody writes
+shared memory but the owner (RPR007), every RPC op has exactly the
+handler and payload the callers think it has (RPR008), all shard state
+mutation threads the epoch sequencer (RPR009), and queues/locks follow
+the liveness discipline (RPR010).  All four run over a project call
+graph (:mod:`.callgraph`) built from every module in the lint
+invocation.
+
+The runtime counterpart — CRC stamping of the shm segment around worker
+dispatch and the protocol fault injector — lives with the code it
+guards, in :mod:`repro.serving.sharded.race`.
+"""
+
+from .callgraph import CallGraph, FunctionInfo, body_walk, final_attr_name, root_name
+from .epochs import EpochDisciplineRule
+from .protocol import RpcProtocolRule
+from .queues import QueueLockHygieneRule
+from .shm_escape import ShmWriteEscapeRule
+
+CONCURRENCY_RULES = [
+    ShmWriteEscapeRule(),
+    RpcProtocolRule(),
+    EpochDisciplineRule(),
+    QueueLockHygieneRule(),
+]
+
+__all__ = [
+    "CallGraph",
+    "FunctionInfo",
+    "body_walk",
+    "final_attr_name",
+    "root_name",
+    "ShmWriteEscapeRule",
+    "RpcProtocolRule",
+    "EpochDisciplineRule",
+    "QueueLockHygieneRule",
+    "CONCURRENCY_RULES",
+]

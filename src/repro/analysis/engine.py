@@ -184,13 +184,24 @@ class LintEngine:
         ignore: Optional[Sequence[str]] = None,
     ) -> List[Violation]:
         rules = self.select(select=select, ignore=ignore)
+        module_rules = [rule for rule in rules if not getattr(rule, "project", False)]
+        project_rules = [rule for rule in rules if getattr(rule, "project", False)]
         violations: List[Violation] = []
-        for path in iter_python_files(paths):
-            module = ParsedModule(path)
-            for rule in rules:
+        # Parse everything up front: per-module rules see one file at a
+        # time, project rules (the concurrency pass) see the whole set so
+        # they can resolve calls across module boundaries.
+        modules = [ParsedModule(path) for path in iter_python_files(paths)]
+        by_path: Dict[str, ParsedModule] = {str(module.path): module for module in modules}
+        for module in modules:
+            for rule in module_rules:
                 for violation in rule.check(module):
                     if not module.rule_disabled(rule.id, violation.line):
                         violations.append(violation)
+        for rule in project_rules:
+            for violation in rule.check_project(modules):
+                module = by_path.get(violation.path)
+                if module is None or not module.rule_disabled(rule.id, violation.line):
+                    violations.append(violation)
         violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
         return violations
 
@@ -206,6 +217,30 @@ class LintEngine:
     @staticmethod
     def format_json(violations: Sequence[Violation]) -> str:
         return json.dumps([asdict(violation) for violation in violations], indent=2)
+
+    @staticmethod
+    def format_github(violations: Sequence[Violation]) -> str:
+        """GitHub Actions workflow-command annotations, one per finding.
+
+        ``::error file=…,line=…`` lines surface inline on the PR diff
+        when emitted from a CI step; the message payload escapes the
+        characters the workflow-command grammar reserves.
+        """
+
+        def escape(text: str) -> str:
+            return (
+                text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+            )
+
+        lines = [
+            f"::error file={v.path},line={v.line},col={v.col},"
+            f"title={v.rule}::{escape(v.message)}"
+            for v in violations
+        ]
+        lines.append(
+            f"{len(violations)} violation(s)" if violations else "clean: no violations"
+        )
+        return "\n".join(lines)
 
     def explain(self, rule_ids: Optional[Sequence[str]] = None) -> str:
         rules = self.select(select=rule_ids) if rule_ids else self.rules

@@ -23,6 +23,9 @@ class Rule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: Project rules run once over the whole parsed module set instead of
+    #: once per module (see :class:`ProjectRule`).
+    project: bool = False
 
     def check(self, module: ParsedModule) -> Iterator[Violation]:
         raise NotImplementedError
@@ -35,6 +38,27 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for interprocedural rules (RPR007–RPR010).
+
+    Per-module rules are syntax-local; a project rule receives *every*
+    parsed module in the lint invocation at once, so it can build a call
+    graph, resolve helpers across files, and reason about dataflow that
+    crosses module boundaries.  The engine still applies per-line
+    ``# lint: disable=…`` pragmas to whatever it emits.
+    """
+
+    project = True
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        # Project rules never run per-module; the engine routes them
+        # through check_project instead.
+        return iter(())
+
+    def check_project(self, modules: List[ParsedModule]) -> Iterator[Violation]:
+        raise NotImplementedError
 
 
 class DtypePromotionRule(Rule):
@@ -271,6 +295,7 @@ class RawTimingRule(Rule):
 
 
 def _build_registry() -> List[Rule]:
+    from .concurrency import CONCURRENCY_RULES
     from .fingerprints import StageFingerprintRule
 
     rules: List[Rule] = [
@@ -281,6 +306,7 @@ def _build_registry() -> List[Rule]:
         SerializationProtocolRule(),
         RawTimingRule(),
     ]
+    rules.extend(CONCURRENCY_RULES)
     return sorted(rules, key=lambda rule: rule.id)
 
 

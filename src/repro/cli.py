@@ -231,6 +231,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             worker_counts=worker_counts,
             seed=args.seed,
             smoke=args.smoke,
+            race_check=True if args.race else None,
             out_path=args.out,
             verbose=not args.quiet,
         )
@@ -507,6 +508,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(engine.format_json(violations))
+    elif args.format == "github":
+        print(engine.format_github(violations))
     else:
         print(engine.format_text(violations))
     return 1 if violations else 0
@@ -706,6 +709,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny fast mode (used by the default test tier)",
     )
     serve.add_argument(
+        "--race", action="store_true",
+        help="arm the runtime shm-write sentinel in every worker (sharded "
+        "bench only; also enabled by REPRO_RACE_CHECK=1)",
+    )
+    serve.add_argument(
         "--out", default="BENCH_serving.json",
         help="write the JSON report to this path",
     )
@@ -735,12 +743,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the repo-specific static analysis (rules RPR001-RPR006)",
+        help="run the repo-specific static analysis (rules RPR001-RPR010)",
         description="AST lint for reproduction invariants: dtype-promotion "
         "hazards (RPR001), randomness outside repro.rng (RPR002), stage "
         "fingerprint/config-read mismatches (RPR003), mutable default "
         "arguments (RPR004), raw numpy serialization outside repro.artifacts "
-        "(RPR005), raw time-module timing outside repro.telemetry (RPR006). "
+        "(RPR005), raw time-module timing outside repro.telemetry (RPR006), "
+        "plus the interprocedural concurrency rules for the sharded serving "
+        "tier: shm write escapes (RPR007), RPC protocol exhaustiveness "
+        "(RPR008), epoch discipline (RPR009), queue/lock hygiene (RPR010). "
         "Exits non-zero when violations are found.",
     )
     lint.add_argument(
@@ -750,8 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", default=None, help="comma-separated rule IDs to run")
     lint.add_argument("--ignore", default=None, help="comma-separated rule IDs to skip")
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json is machine-readable)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (json is machine-readable, github emits "
+        "workflow ::error annotations)",
     )
     lint.add_argument(
         "--explain", action="store_true",

@@ -19,6 +19,12 @@ from .driver import (
     run_sharded_phase,
 )
 from .partition import UserPartition
+from .race import (
+    FaultInjectingHandle,
+    ShmRaceError,
+    ShmWriteSentinel,
+    race_check_enabled,
+)
 from .router import MostPopFallback, ShardedService, ShardRouter
 from .scorer import ITEM_SIDE_KINDS, SharedScorer, compute_item_side, item_side_kind
 from .shard import Shard, ShardSpec, ShardUpdateReport
@@ -40,6 +46,7 @@ from .worker import (
 
 __all__ = [
     "ArrayBank",
+    "FaultInjectingHandle",
     "ITEM_SIDE_KINDS",
     "LocalShardHandle",
     "MostPopFallback",
@@ -57,12 +64,15 @@ __all__ = [
     "SharedArraySpec",
     "SharedScorer",
     "ShmManifest",
+    "ShmRaceError",
+    "ShmWriteSentinel",
     "UserPartition",
     "attach_bundle",
     "build_synthetic_system",
     "compute_item_side",
     "format_sharded_report",
     "item_side_kind",
+    "race_check_enabled",
     "run_sharded_bench",
     "run_sharded_phase",
     "segment_exists",

@@ -38,6 +38,7 @@ from ...rng import derive_rng
 from ...telemetry import active_metrics
 from ..loadgen import ZipfLoadGenerator
 from ..screen import FeatureScreen
+from .race import race_check_enabled
 from .router import ShardedService
 from .shm import segment_exists
 
@@ -229,6 +230,7 @@ def run_sharded_bench(
     backend: str = "process",
     screen_components: int = 8,
     screen_fpr: float = 0.05,
+    race_check: Optional[bool] = None,
     out_path: Optional[str] = None,
     verbose: bool = False,
 ) -> Dict:
@@ -304,6 +306,7 @@ def run_sharded_bench(
                 class_names=class_names,
                 fallback_counts=counts,
                 n=top_n,
+                race_check=race_check,
             )
             services[workers] = service
             segments[workers] = service.segment_name
@@ -440,6 +443,7 @@ def run_sharded_bench(
             "smoke": smoke,
             "screen_components": screen_components,
             "screen_fpr": screen_fpr,
+            "race_check": race_check_enabled(race_check),
             "aggregation": "capacity: total_requests / max(per-shard wall)",
         },
         "runs": runs,

@@ -32,6 +32,7 @@ from ...telemetry import active_metrics, monotonic, span
 from ..screen import FeatureScreen, ScreenReport
 from ..service import RecommenderService  # noqa: F401  (docs cross-reference)
 from .partition import UserPartition
+from .race import race_check_enabled
 from .scorer import SharedScorer, compute_item_side
 from .shard import Shard, ShardSpec
 from .shm import ArrayBank, SharedArrayBundle
@@ -129,14 +130,34 @@ class ShardRouter:
         """Put a recovered shard back (its cache restarts cold)."""
         self._healthy[shard_id] = True
 
+    def ping(self) -> List[Dict]:
+        """Round-trip the ``ping`` op through every healthy shard.
+
+        A liveness probe that exercises the full wire path (queue in,
+        dispatch, queue out) rather than just ``Process.is_alive()``;
+        shards that fail the round trip are marked unhealthy.  Used as
+        the build-time health check before a fleet takes traffic.
+        """
+        replies: List[Dict] = []
+        for shard_id in self.healthy_shards():
+            try:
+                replies.append(
+                    self.handles[shard_id].call("ping", timeout_s=self.call_timeout_s)
+                )
+            except (ShardError, ShardTimeout) as exc:
+                self.mark_unhealthy(shard_id, reason=type(exc).__name__)
+        return replies
+
     # ------------------------------------------------------------------ #
     # Request path
     # ------------------------------------------------------------------ #
     def _serve_fallback(self, user: int, n: int) -> np.ndarray:
         if self.fallback is None:
+            shard_id = int(self.partition.shard_of(user))
             raise ShardError(
-                f"shard {int(self.partition.shard_of(user))} is unhealthy and "
-                "no fallback is configured"
+                f"shard {shard_id} is unhealthy and no fallback is configured",
+                shard_id=shard_id,
+                kind="Unhealthy",
             )
         self.fallback_requests += 1
         registry = active_metrics()
@@ -171,7 +192,42 @@ class ShardRouter:
         return served
 
     def recommend_batch(self, user_ids, n: Optional[int] = None) -> np.ndarray:
-        return np.stack([self.recommend(int(u), n) for u in np.atleast_1d(user_ids)])
+        """Top-``n`` for a batch: one ``recommend_many`` RPC per shard.
+
+        Users are grouped by owning shard (original order preserved
+        within each group, so per-shard cache behaviour is identical to
+        the per-user loop) and each group rides a single round trip
+        instead of one queue ping-pong per user.  A shard that fails
+        mid-batch fails over per-user, same as :meth:`recommend`.
+        """
+        users = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        n = self.n if n is None else n
+        results: List[Optional[np.ndarray]] = [None] * int(users.size)
+        by_shard: Dict[int, List[int]] = {}
+        for pos, user in enumerate(users):
+            shard_id = int(self.partition.shard_of(int(user)))
+            by_shard.setdefault(shard_id, []).append(pos)
+        for shard_id, positions in sorted(by_shard.items()):
+            owned = [int(users[pos]) for pos in positions]
+            handle = self.handles[shard_id]
+            served = None
+            if not self._healthy[shard_id] or not handle.alive():
+                if self._healthy[shard_id]:
+                    self.mark_unhealthy(shard_id, reason="worker death")
+            else:
+                try:
+                    served = handle.call(
+                        "recommend_many",
+                        {"users": owned, "n": n},
+                        timeout_s=self.call_timeout_s,
+                    )
+                except (ShardError, ShardTimeout) as exc:
+                    self.mark_unhealthy(shard_id, reason=type(exc).__name__)
+            if served is None:
+                served = [self._serve_fallback(user, n) for user in owned]
+            for pos, row in zip(positions, served):
+                results[pos] = np.asarray(row)
+        return np.stack(results)
 
     # ------------------------------------------------------------------ #
     # Update path (async fan-out)
@@ -365,6 +421,9 @@ class ShardedService:
     def stats(self) -> Dict:
         return self.router.stats()
 
+    def ping(self) -> List[Dict]:
+        return self.router.ping()
+
     def publish_metrics(self, registry) -> None:
         self.router.publish_metrics(registry)
 
@@ -442,6 +501,7 @@ class ShardedService:
         fallback_counts: Optional[np.ndarray] = None,
         cast_timeout_s: float = 5.0,
         call_timeout_s: Optional[float] = None,
+        race_check: Optional[bool] = None,
     ) -> "ShardedService":
         """Publish the item side once and spin up the shard fleet.
 
@@ -449,9 +509,14 @@ class ShardedService:
         shared-memory segment; ``backend="local"`` builds the identical
         shards in-process against a snapshot bank (what the bitwise
         equivalence tests run).
+
+        ``race_check`` arms the runtime shm-write sentinel in every
+        worker (``None`` defers to the ``REPRO_RACE_CHECK`` environment
+        toggle, so existing suites run unchanged under the mode).
         """
         if backend not in ("process", "local"):
             raise ValueError(f"unknown backend {backend!r}")
+        race = race_check_enabled(race_check)
         kind, arrays = compute_item_side(recommender, features=features)
         partition = UserPartition(recommender.num_users, num_shards)
 
@@ -504,6 +569,7 @@ class ShardedService:
                     monitor_window=monitor_window,
                     max_pending=max_pending,
                     escalate_fraction=escalate_fraction,
+                    race_check=race,
                 )
             )
 
@@ -539,7 +605,7 @@ class ShardedService:
                         monitor_window=spec.monitor_window,
                         max_pending=spec.max_pending,
                     )
-                    handles.append(LocalShardHandle(shard))
+                    handles.append(LocalShardHandle(shard, race_check=race))
         except Exception:
             for handle in handles:
                 handle.stop()
@@ -567,4 +633,16 @@ class ShardedService:
             cast_timeout_s=cast_timeout_s,
             call_timeout_s=call_timeout_s,
         )
-        return cls(router, bundle=bundle, bank=bank)
+        service = cls(router, bundle=bundle, bank=bank)
+        # Build-time health check: every worker must answer a ping over
+        # the real wire path before the fleet takes traffic, so a shard
+        # that forked but wedged surfaces here, not mid-request.
+        replies = router.ping()
+        if len(replies) < len(handles):
+            service.close()
+            raise ShardError(
+                f"{len(handles) - len(replies)} of {len(handles)} shard(s) "
+                "failed the build-time ping health check",
+                kind="BuildHealthCheck",
+            )
+        return service

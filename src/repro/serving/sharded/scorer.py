@@ -234,6 +234,12 @@ class SharedScorer:
             dense["features"][item] = feats
             dense["visual_items"][item] = visual_row
             dense["visual_bias_scores"][item] = bias_score
+        # Publish read-only: once the dense side starts serving it gets
+        # the same write protection as the shared bank, so a scoring-path
+        # bug cannot silently corrupt the escalated copy either.  The one
+        # sanctioned writer (update_item_features) brackets its writes.
+        for array in dense.values():
+            array.flags.writeable = False
         self._dense = dense
         self._overlay.clear()
         self._overlay_ids = None
@@ -326,9 +332,18 @@ class SharedScorer:
         visual_rows = item_features @ self.bank["embedding"]
         bias_rows = item_features @ self.bank["visual_bias"]
         if self._dense is not None:
-            self._dense["features"][item_ids] = item_features
-            self._dense["visual_items"][item_ids] = visual_rows
-            self._dense["visual_bias_scores"][item_ids] = bias_rows
+            # Sanctioned writer: the escalated copy is published read-only
+            # (see _escalate), so open the narrowest possible write window
+            # and close it again even if a store raises.
+            for array in self._dense.values():
+                array.setflags(write=True)  # lint: disable=RPR007
+            try:
+                self._dense["features"][item_ids] = item_features
+                self._dense["visual_items"][item_ids] = visual_rows
+                self._dense["visual_bias_scores"][item_ids] = bias_rows
+            finally:
+                for array in self._dense.values():
+                    array.setflags(write=False)
             return True
         for pos, item in enumerate(item_ids):
             self._overlay[int(item)] = (

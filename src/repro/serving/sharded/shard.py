@@ -59,6 +59,9 @@ class ShardSpec:
     monitor_window: int = 256
     max_pending: int = 64
     escalate_fraction: float = 0.25
+    #: Arm the runtime shm-write sentinel around worker dispatch (race
+    #: check mode — see :mod:`repro.serving.sharded.race`).
+    race_check: bool = False
 
 
 @dataclass

@@ -29,17 +29,74 @@ import numpy as np
 
 from ...rng import derive_rng
 from ...telemetry import monotonic
+from .race import ShmRaceError, ShmWriteSentinel
 from .shard import Shard, ShardSpec
 
 _DEFAULT_TIMEOUT_S = 30.0
 
 
 class ShardError(RuntimeError):
-    """The worker answered with an error (its shard raised)."""
+    """The worker answered with an error (its shard raised).
+
+    Typed protocol context rides along: which shard, which op, which
+    sequence number, and the exception class that fired worker-side
+    (``kind``) — so a caller can branch on what failed instead of
+    parsing a stringified traceback out of the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: Optional[int] = None,
+        op: Optional[str] = None,
+        seq: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.op = op
+        self.seq = seq
+        self.kind = kind
+
+    @classmethod
+    def from_reply(cls, shard_id: int, reply, op: Optional[str] = None) -> "ShardError":
+        """Rebuild the typed error from a worker's error reply.
+
+        Replies are structured dicts (see ``_error_reply``); a bare
+        string still renders, for forward compatibility with anything
+        replaying old captures.
+        """
+        seq = kind = None
+        if isinstance(reply, dict):
+            op = reply.get("op", op)
+            seq = reply.get("seq")
+            kind = reply.get("kind")
+            detail = reply.get("message", "")
+            if kind:
+                detail = f"{kind}: {detail}"
+        else:
+            detail = str(reply)
+        where = f"shard {shard_id}"
+        if op is not None:
+            where += f" op {op}"
+        if seq is not None:
+            where += f" (seq {seq})"
+        return cls(f"{where}: {detail}", shard_id=shard_id, op=op, seq=seq, kind=kind)
 
 
 class ShardTimeout(TimeoutError):
     """The worker did not answer (or enqueue) within the deadline."""
+
+
+def _error_reply(shard_id: int, op: Optional[str], seq: int, exc: BaseException) -> Dict:
+    """The wire form of a worker-side failure (picklable, typed)."""
+    return {
+        "shard_id": shard_id,
+        "op": op,
+        "seq": seq,
+        "kind": type(exc).__name__,
+        "message": str(exc),
+    }
 
 
 # --------------------------------------------------------------------- #
@@ -145,11 +202,18 @@ def _dispatch(shard: Shard, op: str, payload):
 def shard_worker_main(spec: ShardSpec, inbox, outbox) -> None:
     """Entry point of a worker process: build the shard, serve the queue."""
     shard = None
+    sentinel = None
     try:
         shard = Shard.from_spec(spec)
+        if spec.race_check:
+            # Race mode: CRC-stamp the attached segment once, re-verify
+            # after every dispatched op, so any write to the shared item
+            # side fails the op that exposed it (ShmRaceError in the
+            # error reply) instead of a parity diff much later.
+            sentinel = ShmWriteSentinel(shard.scorer.bank)
         outbox.put((0, "ok", {"shard_id": spec.shard_id}))
     except Exception as exc:  # construction failed: report, don't serve
-        outbox.put((0, "error", f"{type(exc).__name__}: {exc}"))
+        outbox.put((0, "error", _error_reply(spec.shard_id, "start", 0, exc)))
         return
     try:
         while True:
@@ -159,8 +223,10 @@ def shard_worker_main(spec: ShardSpec, inbox, outbox) -> None:
                 return
             try:
                 result = _dispatch(shard, op, payload)
+                if sentinel is not None:
+                    sentinel.verify(op=op, seq=seq)
             except Exception as exc:
-                outbox.put((seq, "error", f"{type(exc).__name__}: {exc}"))
+                outbox.put((seq, "error", _error_reply(shard.shard_id, op, seq, exc)))
             else:
                 outbox.put((seq, "ok", result))
     finally:
@@ -201,7 +267,7 @@ class ProcessShardHandle:
         seq, status, payload = self._recv(0, timeout_s)
         if status != "ok":
             self.stop()
-            raise ShardError(f"shard {self.shard_id} failed to start: {payload}")
+            raise ShardError.from_reply(self.shard_id, payload, op="start")
 
     # -- low-level plumbing ------------------------------------------- #
     def _next_seq(self) -> int:
@@ -225,7 +291,9 @@ class ProcessShardHandle:
                 if not self.alive():
                     raise ShardError(
                         f"shard {self.shard_id}: worker died "
-                        f"(exitcode={self._proc.exitcode})"
+                        f"(exitcode={self._proc.exitcode})",
+                        shard_id=self.shard_id,
+                        kind="WorkerDeath",
                     ) from None
                 continue
             self._outstanding.discard(seq)
@@ -246,7 +314,7 @@ class ProcessShardHandle:
         self._outstanding.add(seq)
         seq, status, result = self._recv(seq, timeout_s)
         if status != "ok":
-            raise ShardError(f"shard {self.shard_id} op {op}: {result}")
+            raise ShardError.from_reply(self.shard_id, result, op=op)
         return result
 
     def cast(self, op: str, payload=None, timeout_s: float = 1.0) -> int:
@@ -275,7 +343,7 @@ class ProcessShardHandle:
         for seq in sorted(self._outstanding):
             seq, status, payload = self._recv(seq, timeout_s)
             if status != "ok":
-                raise ShardError(f"shard {self.shard_id}: {payload}")
+                raise ShardError.from_reply(self.shard_id, payload)
             results.append(payload)
         return results
 
@@ -304,7 +372,7 @@ class ProcessShardHandle:
 class LocalShardHandle:
     """Same interface, shard runs in the caller's process (tests)."""
 
-    def __init__(self, spec_or_shard) -> None:
+    def __init__(self, spec_or_shard, race_check: bool = False) -> None:
         self._shard = (
             spec_or_shard
             if isinstance(spec_or_shard, Shard)
@@ -313,6 +381,9 @@ class LocalShardHandle:
         self.shard_id = self._shard.shard_id
         self.user_ids = self._shard.user_ids
         self._alive = True
+        self._sentinel = (
+            ShmWriteSentinel(self._shard.scorer.bank) if race_check else None
+        )
 
     @property
     def shard(self) -> Shard:
@@ -320,14 +391,25 @@ class LocalShardHandle:
 
     def call(self, op: str, payload=None, timeout_s: Optional[float] = None):
         if not self._alive:
-            raise ShardError(f"shard {self.shard_id}: handle stopped")
+            raise ShardError(
+                f"shard {self.shard_id}: handle stopped",
+                shard_id=self.shard_id,
+                op=op,
+                kind="HandleStopped",
+            )
         try:
-            return _dispatch(self._shard, op, payload)
-        except (ShardError, ShardTimeout):
+            result = _dispatch(self._shard, op, payload)
+            if self._sentinel is not None:
+                self._sentinel.verify(op=op)
+            return result
+        except (ShardError, ShardTimeout, ShmRaceError):
             raise
         except Exception as exc:
             raise ShardError(
-                f"shard {self.shard_id} op {op}: {type(exc).__name__}: {exc}"
+                f"shard {self.shard_id} op {op}: {type(exc).__name__}: {exc}",
+                shard_id=self.shard_id,
+                op=op,
+                kind=type(exc).__name__,
             ) from exc
 
     def cast(self, op: str, payload=None, timeout_s: float = 1.0) -> int:

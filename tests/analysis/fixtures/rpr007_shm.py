@@ -1,0 +1,46 @@
+"""RPR007 fixture — writes escaping onto worker-attached shm views.
+
+Never imported; parsed by the lint self-tests.  Files outside the
+package are in scope for every rule, so the sharded-tier taint pass
+runs here exactly as it does over ``src/repro/serving/sharded``.
+"""
+
+import numpy as np
+
+from repro.serving.sharded.shm import attach_bundle
+
+
+def _scale_in_place(block, factor):
+    # Interprocedural: the caller below hands this a bank view, so the
+    # taint reaches this parameter and the in-place write is flagged
+    # here as well as at the call site.
+    block *= factor  # VIOLATION: in-place write on a view the caller shares
+    return block
+
+
+def worker_writes(manifest):
+    bank = attach_bundle(manifest)
+    view = bank["features"]
+    view.flags.writeable = True  # VIOLATION: re-enables the write flag
+    bank["features"][0] = 1.0  # VIOLATION: subscript store into the bank
+    view += 2.0  # VIOLATION: in-place op on an attached view
+    view.fill(0.0)  # VIOLATION: mutating ndarray method
+    np.add(view, 1.0, out=view)  # VIOLATION: out= targets the shared view
+    _scale_in_place(view, 2.0)  # VIOLATION: callee mutates its parameter
+    private = np.array(view, copy=True)
+    private += 1.0  # copies launder taint: private memory, no finding
+    return private
+
+
+def aliased_writes(manifest):
+    bank = attach_bundle(manifest)
+    flat = np.asarray(bank["features"]).reshape(-1)
+    flat[0] = 3.0  # VIOLATION: asarray/reshape alias the same buffer
+    return flat
+
+
+def sanctioned_escape(manifest):
+    bank = attach_bundle(manifest)
+    scratch = bank["features"]
+    scratch.setflags(write=True)  # lint: disable=RPR007
+    return scratch

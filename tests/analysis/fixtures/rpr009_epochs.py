@@ -1,0 +1,38 @@
+"""RPR009 fixture — shard state mutated outside submit_update sequencing.
+
+Never imported; parsed by the lint self-tests.  ``_dispatch`` below
+makes the rogue path reachable from the worker dispatch table, which
+the rule annotates in its message.
+"""
+
+
+class RogueShard:
+    def __init__(self, scorer, index):
+        self.scorer = scorer
+        self.index = index
+        self.applied_epoch = 0  # __init__ may initialise the ledger
+
+    def submit_update(self, epoch, item_ids, item_features):
+        # The sanctioned path: epoch-sequenced mutation is fine.
+        changed = self.scorer.update_item_features(item_ids, item_features)
+        self.applied_epoch = epoch
+        return changed
+
+    def hot_patch(self, item_ids, item_features):
+        self.scorer.update_item_features(item_ids, item_features)  # VIOLATION: skips the epoch ledger
+
+    def flush_cache(self, users):
+        self.index.invalidate_users(users)  # VIOLATION: ad-hoc invalidation
+        self.index.clear()  # VIOLATION: cache clear outside teardown
+
+    def rewind(self, epoch):
+        self.applied_epoch = epoch  # VIOLATION: ledger rewound out of band
+
+    def close(self):
+        self.index.clear()  # teardown may clear the cache
+
+
+def _dispatch(shard, op, payload):
+    if op == "patch":
+        return shard.hot_patch(payload["ids"], payload["features"])
+    return None

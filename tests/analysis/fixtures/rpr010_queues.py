@@ -1,0 +1,52 @@
+"""RPR010 fixture — queue/lock hygiene in the serving tier.
+
+Never imported; parsed by the lint self-tests.  Queues and locks are
+recognised by the serving tier's naming conventions (``inbox``/
+``outbox``/``*queue*``, ``*lock*``/``*mutex*``).
+"""
+
+import threading
+
+state_lock = threading.Lock()
+stats_lock = threading.Lock()
+
+
+class Handle:
+    def __init__(self, inbox, outbox):
+        self.inbox = inbox
+        self.outbox = outbox
+        self._lock = threading.Lock()
+
+    def drain(self):
+        return self.outbox.get()  # VIOLATION: blocking get outside the worker loop
+
+    def polled(self):
+        return self.outbox.get(timeout=0.1)  # bounded poll: fine
+
+    def enqueue(self, item):
+        with self._lock:
+            self.inbox.put(item)  # VIOLATION: put under a held lock
+
+    def enqueue_outside(self, item):
+        self.inbox.put(item)  # no lock held: fine
+
+
+def forward():
+    with state_lock:
+        with stats_lock:  # VIOLATION: opposite order from backward()
+            pass
+
+
+def backward():
+    with stats_lock:
+        with state_lock:  # VIOLATION: lock-order inversion with forward()
+            pass
+
+
+def shard_worker_main(inbox, outbox):
+    # The sanctioned worker loop may block forever on its inbox.
+    while True:
+        task = inbox.get()
+        if task is None:
+            break
+        outbox.put(task)

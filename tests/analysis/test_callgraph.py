@@ -1,0 +1,147 @@
+"""Unit tests for the project call graph behind RPR007–RPR010."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import ParsedModule
+from repro.analysis.concurrency import (
+    CallGraph,
+    body_walk,
+    final_attr_name,
+    root_name,
+)
+
+SOURCE = '''
+def helper(rows):
+    rows[0] = 1.0
+    return rows
+
+
+def rebinder(block):
+    block = list(block)
+    block[0] = 2.0
+    return block
+
+
+def chained(outer_arg):
+    return helper(outer_arg)
+
+
+def top(data):
+    chained(data)
+
+
+class Service:
+    def ping(self):
+        return self.refresh()
+
+    def refresh(self):
+        return helper([1.0])
+
+    def fill_into(self, target):
+        target.fill(0.0)
+
+
+def nested_host():
+    def inner():
+        return helper([2.0])
+
+    return inner
+'''
+
+
+@pytest.fixture()
+def graph(tmp_path: Path) -> CallGraph:
+    path = tmp_path / "mod.py"
+    path.write_text(SOURCE)
+    return CallGraph([ParsedModule(path)])
+
+
+def _one(graph: CallGraph, name: str):
+    matches = graph.by_name(name)
+    assert len(matches) == 1
+    return matches[0]
+
+
+class TestCollection:
+    def test_functions_methods_and_nested_defs_collected(self, graph):
+        names = {f.qualname for f in graph.functions}
+        assert {
+            "helper",
+            "rebinder",
+            "chained",
+            "top",
+            "Service.ping",
+            "Service.refresh",
+            "Service.fill_into",
+            "nested_host",
+            "inner",
+        } <= names
+
+    def test_body_walk_skips_nested_defs(self, graph):
+        import ast
+
+        host = _one(graph, "nested_host")
+        calls = [n for n in body_walk(host.node) if isinstance(n, ast.Call)]
+        # helper([2.0]) belongs to inner(), not to nested_host's body.
+        assert calls == []
+
+
+class TestResolution:
+    def test_bare_name_resolves_to_module_function(self, graph):
+        chained = _one(graph, "chained")
+        (call, callees), = graph.calls_in(chained)
+        assert [c.qualname for c in callees] == ["helper"]
+
+    def test_self_call_resolves_to_own_class(self, graph):
+        ping = _one(graph, "ping")
+        (call, callees), = graph.calls_in(ping)
+        assert [c.qualname for c in callees] == ["Service.refresh"]
+
+    def test_reachability_is_transitive(self, graph):
+        top = _one(graph, "top")
+        reached = {f.qualname for f in graph.reachable_from([top])}
+        assert {"top", "chained", "helper"} <= reached
+        assert "rebinder" not in reached
+
+
+class TestMutationSummaries:
+    def test_direct_subscript_store_marks_param(self, graph):
+        summary = graph.mutated_params()
+        assert summary[_one(graph, "helper")] == {"rows"}
+
+    def test_rebound_param_is_not_mutated(self, graph):
+        # block = list(block) rebinds before the store: the caller's
+        # object is untouched.
+        summary = graph.mutated_params()
+        assert summary[_one(graph, "rebinder")] == set()
+
+    def test_mutation_propagates_through_call_chain(self, graph):
+        summary = graph.mutated_params()
+        assert summary[_one(graph, "chained")] == {"outer_arg"}
+        assert summary[_one(graph, "top")] == {"data"}
+
+    def test_mutating_method_marks_param_not_self(self, graph):
+        summary = graph.mutated_params()
+        assert summary[_one(graph, "fill_into")] == {"target"}
+
+    def test_param_for_arg_accounts_for_method_self_slot(self, graph):
+        import ast
+
+        fill_into = _one(graph, "fill_into")
+        call = ast.parse("svc.fill_into(arr)", mode="eval").body
+        assert graph.param_for_arg(fill_into, call, position=0) == "target"
+        bare = ast.parse("fill_into(svc, arr)", mode="eval").body
+        assert graph.param_for_arg(fill_into, bare, position=1) == "target"
+
+
+class TestNameHelpers:
+    def test_root_and_final_attr_names(self):
+        import ast
+
+        expr = ast.parse('bank["scores"][0]', mode="eval").body
+        assert root_name(expr) == "bank"
+        attr = ast.parse("self._inbox", mode="eval").body
+        assert final_attr_name(attr) == "_inbox"
+        assert root_name(attr) == "self"

@@ -36,7 +36,7 @@ def _marked_lines(path: Path):
 
 
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert [rule.id for rule in ALL_RULES] == [
             "RPR001",
             "RPR002",
@@ -44,7 +44,16 @@ class TestRuleRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
+            "RPR008",
+            "RPR009",
+            "RPR010",
         ]
+
+    def test_concurrency_rules_are_project_scoped(self):
+        by_project = {rule.id: rule.project for rule in ALL_RULES}
+        assert all(by_project[rule_id] for rule_id in ("RPR007", "RPR008", "RPR009", "RPR010"))
+        assert not any(by_project[rule_id] for rule_id in ("RPR001", "RPR002", "RPR003"))
 
     def test_every_rule_has_explanation(self):
         for rule in ALL_RULES:
